@@ -1,0 +1,77 @@
+"""E4 — the convoy effect (§6.2; ref [1]).
+
+"When contention occurs, a message may wait for a chain of messages to be
+delivered first.  This chain can span outside of the destination group."
+
+We use hub topologies: k groups all sharing the hub process p1, so every
+pair of groups is a cyclic-family edge and the stabilization waits of
+lines 28/32 are live between g1 and every spoke.  A probe to g1 must wait,
+in each shared log, for the spoke messages racing ahead of it — work and
+waiting that grow with the number of contending neighbour groups although
+g1 itself always carries exactly one message.
+
+Latency is measured in rounds at one action per process per round (the
+finest interleaving).  Expected shape: the contended probe's latency grows
+markedly faster with k than the idle control's (whose growth is just the
+per-partner stabilization records).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.core import AtomicMulticast, MulticastSystem
+from repro.metrics import format_table
+from repro.model import failure_free, make_processes, pset
+from repro.props import assert_run_ok
+from repro.workloads import hub_topology
+
+ROWS = []
+
+
+def teardown_module(module):
+    print("\n\nE4 - convoy effect: probe latency vs contending spokes:")
+    print(
+        format_table(
+            ("spoke groups", "contended latency", "idle latency", "gap"),
+            ROWS,
+        )
+    )
+    gaps = [row[3] for row in ROWS]
+    # Shape: the contention-induced gap grows with the number of
+    # neighbour groups the probe never addressed.
+    assert gaps[-1] > gaps[0]
+    assert all(gap > 0 for gap in gaps)
+
+
+def probe_latency(k: int, contended: bool) -> int:
+    topo = hub_topology(k)
+    procs = make_processes(len(topo.processes))
+    system = MulticastSystem(topo, failure_free(pset(procs)), seed=31)
+    amc = AtomicMulticast(system)
+    if contended:
+        for i in range(2, k + 1):
+            group = topo.group(f"g{i}")
+            amc.multicast(sorted(group.members)[-1], f"g{i}")
+        system.tick(action_budget=1)
+    probe = amc.multicast(procs[0], "g1")
+    g1 = topo.group("g1")
+    rounds = 0
+    while (
+        system.record.delivered_by(probe) != g1.members and rounds < 3000
+    ):
+        system.tick(action_budget=1)
+        rounds += 1
+    system.run()  # drain, then machine-check the whole run
+    assert_run_ok(system.record)
+    assert system.record.delivered_by(probe) == g1.members
+    return rounds
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5, 6])
+def test_probe_latency_under_contention(benchmark, k):
+    contended = run_once(benchmark, probe_latency, k, True)
+    idle = probe_latency(k, False)
+    ROWS.append((k, contended, idle, contended - idle))
+    assert contended > idle

@@ -1,0 +1,17 @@
+"""Shared benchmark helpers.
+
+Every benchmark in this directory regenerates one artifact of the paper
+(Table 1, Figure 1, or a claim from the prose — see DESIGN.md §4) and
+asserts its qualitative *shape*.  Timing is measured with
+pytest-benchmark in pedantic mode (few rounds — these are system runs,
+not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a handful of rounds and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=3)

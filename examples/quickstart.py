@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: genuine atomic multicast on the paper's Figure 1 topology.
+
+Five processes, four overlapping destination groups::
+
+    g1 = {p1, p2}   g2 = {p2, p3}   g3 = {p1, p3, p4}   g4 = {p1, p4, p5}
+
+We multicast a handful of messages — concurrently, from different
+senders — run the system to quiescence, and show that every process
+delivered exactly the messages addressed to it, in a globally consistent
+order, while processes with no traffic took zero steps (genuineness).
+"""
+
+from repro import (
+    AtomicMulticast,
+    MulticastSystem,
+    assert_run_ok,
+    failure_free,
+    make_processes,
+    paper_figure1_topology,
+    pset,
+)
+
+def main() -> None:
+    topology = paper_figure1_topology()
+    processes = make_processes(5)
+    p1, p2, p3, p4, p5 = processes
+
+    print("Topology:")
+    for group in topology.groups:
+        print(f"  {group}")
+    print()
+
+    # A failure-free run with the candidate detector mu.
+    system = MulticastSystem(topology, failure_free(pset(processes)), seed=7)
+    amc = AtomicMulticast(system)
+
+    sent = [
+        amc.multicast(p1, "g1", payload="transfer:acct-a->acct-b"),
+        amc.multicast(p3, "g2", payload="read:acct-b"),
+        amc.multicast(p4, "g3", payload="rebalance:shard-3"),
+        amc.multicast(p2, "g1", payload="transfer:acct-b->acct-c"),
+    ]
+    rounds = amc.run()
+    print(f"Run reached quiescence after {rounds} rounds.\n")
+
+    print("Delivery order per process:")
+    for p in processes:
+        delivered = [str(m.payload) for m in amc.delivered_at(p)]
+        print(f"  {p.name}: {delivered or '(nothing addressed here)'}")
+    print()
+
+    print("Steps per process (genuineness: p5 is idle):")
+    for p in processes:
+        print(f"  {p.name}: {system.record.steps_of(p)}")
+    print()
+
+    # Machine-check Integrity, Termination, Ordering and Minimality.
+    assert_run_ok(system.record)
+    print("All properties of §2.2 + Minimality machine-checked: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""A sharded key-value store replicated with genuine atomic multicast.
+
+This is the paper's motivating application shape (partially replicated /
+sharded data stores [17, 34, 38]): keys are spread over three shards, each
+shard is a destination group, and *cross-shard transactions* are multicast
+to the union of the shards they touch.  Atomic multicast's global order
+makes every replica apply conflicting transactions in the same order —
+without any shard learning about traffic it does not serve (genuineness).
+
+Shard layout (6 processes)::
+
+    shard_ab  = {p1, p2}        keys a*, b*
+    shard_cd  = {p3, p4}        keys c*, d*
+    shard_ef  = {p5, p6}        keys e*, f*
+    cross groups: shard_ab ∪ shard_cd and shard_cd ∪ shard_ef
+
+The run includes a replica crash (p4) to show fault tolerance.
+"""
+
+from repro import (
+    AtomicMulticast,
+    MulticastSystem,
+    assert_run_ok,
+    crash_pattern,
+    make_processes,
+    pset,
+    topology_from_indices,
+)
+
+
+def apply_transaction(store, payload):
+    """A deterministic state machine: 'set k v' | 'incr k' operations."""
+    for op in payload.split(";"):
+        parts = op.split()
+        if parts[0] == "set":
+            store[parts[1]] = int(parts[2])
+        elif parts[0] == "incr":
+            store[parts[1]] = store.get(parts[1], 0) + 1
+    return store
+
+
+def main() -> None:
+    topology = topology_from_indices(
+        6,
+        {
+            "shard_ab": [1, 2],
+            "shard_cd": [3, 4],
+            "shard_ef": [5, 6],
+            "cross_ab_cd": [1, 2, 3, 4],
+            "cross_cd_ef": [3, 4, 5, 6],
+        },
+    )
+    processes = make_processes(6)
+    p1, p2, p3, p4, p5, p6 = processes
+
+    # Replica p4 of shard_cd crashes mid-run.
+    pattern = crash_pattern(pset(processes), {p4: 6})
+    system = MulticastSystem(topology, pattern, seed=13)
+    amc = AtomicMulticast(system)
+
+    print("Submitting transactions (single- and cross-shard)...")
+    amc.multicast(p1, "shard_ab", payload="set a 5")
+    amc.multicast(p3, "shard_cd", payload="set c 10")
+    amc.multicast(p2, "cross_ab_cd", payload="incr a;incr c")
+    amc.multicast(p5, "shard_ef", payload="set e 1")
+    amc.multicast(p4, "cross_cd_ef", payload="incr c;incr e")
+    amc.multicast(p1, "shard_ab", payload="incr a")
+    rounds = amc.run()
+    print(f"Quiescent after {rounds} rounds (p4 crashed at t=6).\n")
+
+    # Replay each replica's delivery sequence through the state machine.
+    print("Replica states after applying the delivered sequence:")
+    for p in processes:
+        store = {}
+        for message in amc.delivered_at(p):
+            apply_transaction(store, message.payload)
+        status = "CRASHED" if pattern.is_faulty(p) else "ok"
+        print(f"  {p.name} [{status}]: {store}")
+    print()
+
+    # Replicas of the same shard must agree on their shard's keys.
+    def shard_view(p, keys):
+        store = {}
+        for message in amc.delivered_at(p):
+            apply_transaction(store, message.payload)
+        return {k: v for k, v in store.items() if k[0] in keys}
+
+    assert shard_view(p1, "ab") == shard_view(p2, "ab")
+    assert shard_view(p5, "ef") == shard_view(p6, "ef")
+    print("Shard replicas converged: OK")
+
+    # The ef-shard never worked for ab-only traffic and vice versa.
+    assert_run_ok(system.record)
+    print("Properties machine-checked (incl. genuineness): OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,372 @@
+"""Algorithm 1: genuine (group-sequential) atomic multicast from ``mu``.
+
+This module is a line-by-line executable rendering of Algorithm 1 (§4.3).
+Each process runs an *action system*: an action executes once its
+preconditions hold, and its effects apply atomically (the engine in
+:mod:`repro.core.engine` serializes actions, which realizes the
+linearization the paper reasons on in §4.4).
+
+Mapping to the pseudo-code:
+
+=================  ====================================================
+paper              here
+=================  ====================================================
+lines 5–7          :meth:`Algorithm1Process.multicast`
+lines 8–15         :meth:`Algorithm1Process._try_pending`
+lines 16–24        :meth:`Algorithm1Process._try_commit`
+lines 25–29        :meth:`Algorithm1Process._try_stabilize`
+lines 30–33        :meth:`Algorithm1Process._try_stable`
+lines 34–37        :meth:`Algorithm1Process._try_deliver`
+=================  ====================================================
+
+The *strict* variation of §6.1 changes only the ``stable`` precondition:
+a process waits, for every intersecting group ``h``, for either the
+stabilization record ``(m, h)`` or the indicator ``1^{g∩h}`` — supply
+``variant="strict"`` together with indicator oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.detectors.indicator import IndicatorOracle
+from repro.detectors.mu import Mu
+from repro.core.phases import COMMIT, DELIVER, PENDING, STABLE, START, Phase
+from repro.groups.topology import Group, GroupTopology
+from repro.model.errors import SimulationError
+from repro.model.messages import MessageId, MulticastMessage
+from repro.model.processes import ProcessId
+from repro.objects.space import LogHandle, ObjectSpace
+
+#: Upcall invoked on delivery: (process, message).
+DeliverFn = Callable[[ProcessId, MulticastMessage], None]
+
+#: Supported algorithm variants.
+VARIANTS = ("vanilla", "strict")
+
+
+class Algorithm1Process:
+    """The code of Algorithm 1 at one process.
+
+    Attributes:
+        pid: this process.
+        topology: the destination groups ``G``.
+        space: the shared-object space (logs and consensus objects).
+        mu: the candidate failure detector (strict mode additionally uses
+            the ``indicators`` mapping).
+        variant: ``"vanilla"`` (§4) or ``"strict"`` (§6.1).
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        topology: GroupTopology,
+        space: ObjectSpace,
+        mu: Mu,
+        on_deliver: DeliverFn,
+        variant: str = "vanilla",
+        indicators: Optional[Dict[FrozenSet[ProcessId], IndicatorOracle]] = None,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise SimulationError(f"unknown variant {variant!r}")
+        if variant == "strict" and indicators is None:
+            raise SimulationError("strict variant needs indicator detectors")
+        self.pid = pid
+        self.topology = topology
+        self.space = space
+        self.mu = mu
+        self.variant = variant
+        self.indicators = indicators or {}
+        self._on_deliver = on_deliver
+        self.my_groups: Tuple[Group, ...] = topology.groups_of(pid)
+        #: PHASE[m], keyed by message id; absent = start (line 4).
+        self.phase: Dict[MessageId, Phase] = {}
+        #: Messages known locally, keyed by id.
+        self.known: Dict[MessageId, MulticastMessage] = {}
+        #: (message, group) pairs already stabilized by this process.
+        self._stabilized: Set[Tuple[MessageId, Group]] = set()
+        #: Locally requested multicasts whose line-7 append is still
+        #: waiting for a quorum (retried by the action scan).
+        self._to_multicast: Set[MessageId] = set()
+        #: Per-destination-group consensus family, memoized (line 20).
+        self._family_keys: Dict[Group, FrozenSet[str]] = {}
+
+    # -- Phase bookkeeping ---------------------------------------------------
+
+    def phase_of(self, message: MulticastMessage) -> Phase:
+        return self.phase.get(message.mid, START)
+
+    def _learn(self, message: MulticastMessage) -> None:
+        self.known.setdefault(message.mid, message)
+
+    def _all_at_least(
+        self, messages: Tuple[MulticastMessage, ...], threshold: Phase
+    ) -> bool:
+        return all(self.phase_of(m) >= threshold for m in messages)
+
+    # -- Shared-object accessors ----------------------------------------------
+
+    def _log(self, g: Group) -> LogHandle:
+        return self.space.group_log(g)
+
+    def _ilog(self, g: Group, h: Group) -> LogHandle:
+        return self.space.intersection_log(g, h)
+
+    def _destination_group(self, message: MulticastMessage) -> Group:
+        for g in self.topology.groups:
+            if g.members == message.dst:
+                return g
+        raise SimulationError(
+            f"message {message!r} addressed to a group outside G"
+        )
+
+    # -- multicast(m), lines 5-7 ---------------------------------------------
+
+    def multicast(self, message: MulticastMessage) -> None:
+        """Append ``m`` to the log of its destination group.
+
+        The caller must be a member of the destination group (closed
+        dissemination) and the workload must be group-sequential — the
+        vanilla interface in :mod:`repro.core.group_sequential` enforces
+        both.
+        """
+        g = self._destination_group(message)
+        if self.pid not in g:
+            raise SimulationError(f"{self.pid} is not in {g.name}")
+        self._learn(message)
+        if self.phase_of(message) != START:
+            return  # pre: PHASE[m] = start
+        log_g = self._log(g)
+        if not log_g.mutation_available(self.pid):
+            self._to_multicast.add(message.mid)  # retried by the scan
+            return
+        log_g.append(self.pid, message)
+
+    # -- The action scan -------------------------------------------------------
+
+    def discover(self) -> None:
+        """Learn messages appearing in the logs of this process's groups."""
+        for g in self.my_groups:
+            for message in self._log(g).messages():
+                self._learn(message)
+
+    def try_actions(self, t: int, budget: Optional[int] = None) -> int:
+        """Run one pass over all enabled actions; return how many fired.
+
+        ``budget`` caps the number of actions fired in this scan (finer
+        interleaving for latency measurements); ``None`` = fire all.
+        """
+        self.discover()
+        fired = 0
+        for mid in sorted(self._to_multicast):
+            message = self.known[mid]
+            if self.phase_of(message) != START or message in self._log(
+                self._destination_group(message)
+            ):
+                self._to_multicast.discard(mid)
+                continue
+            if self._log(self._destination_group(message)).mutation_available(
+                self.pid
+            ):
+                self._log(self._destination_group(message)).append(
+                    self.pid, message
+                )
+                self._to_multicast.discard(mid)
+                fired += 1
+        for mid in sorted(self.known):
+            if budget is not None and fired >= budget:
+                return fired
+            message = self.known[mid]
+            g = self._destination_group(message)
+            if self.pid not in g:
+                continue
+            if self._try_pending(t, message, g):
+                fired += 1
+            if budget is not None and fired >= budget:
+                return fired
+            if self._try_commit(t, message, g):
+                fired += 1
+            if budget is not None and fired >= budget:
+                return fired
+            remaining = None if budget is None else budget - fired
+            fired += self._try_stabilize(t, message, g, remaining)
+            if budget is not None and fired >= budget:
+                return fired
+            if self._try_stable(t, message, g):
+                fired += 1
+            if budget is not None and fired >= budget:
+                return fired
+            if self._try_deliver(t, message, g):
+                fired += 1
+        return fired
+
+    # -- pending(m), lines 8-15 -------------------------------------------------
+
+    def _try_pending(self, t: int, m: MulticastMessage, g: Group) -> bool:
+        log_g = self._log(g)
+        if self.phase_of(m) != START:
+            return False
+        if m not in log_g:
+            return False
+        if not self._all_at_least(log_g.messages_before(m), COMMIT):
+            return False
+        targets = [
+            h
+            for h in self.my_groups
+            if h == g or g.intersects(h)
+        ]
+        if not log_g.mutation_available(self.pid):
+            return False
+        for h in targets:
+            if not self._ilog(g, h).mutation_available(self.pid, "append", m):
+                return False  # wait for a quorum of the carrier
+        for h in targets:
+            position = self._ilog(g, h).append(self.pid, m)
+            log_g.append(self.pid, (m.mid, h.name, position))
+        self.phase[m.mid] = PENDING
+        return True
+
+    # -- commit(m), lines 16-24 ---------------------------------------------------
+
+    def _gamma_partners(self, t: int, g: Group) -> Tuple[Group, ...]:
+        """``gamma(g)`` as observed by this process now (§3)."""
+        return self.mu.gamma_partners(self.pid, t, g)
+
+    def _consensus_family(self, g: Group) -> FrozenSet[str]:
+        """Line 20: ``f = {h : ∃f' ∈ F(p). g, h ∈ f' ∧ g ∩ h ≠ ∅}``."""
+        cached = self._family_keys.get(g)
+        if cached is not None:
+            return cached
+        members: Set[str] = set()
+        for family in self.topology.families_of_process(self.pid):
+            if g not in family:
+                continue
+            for h in family:
+                if g.intersects(h):
+                    members.add(h.name)
+        key = frozenset(members)
+        self._family_keys[g] = key
+        return key
+
+    def _try_commit(self, t: int, m: MulticastMessage, g: Group) -> bool:
+        if self.phase_of(m) != PENDING:
+            return False
+        log_g = self._log(g)
+        records = log_g.position_records_for(m.mid)
+        recorded_groups = {r[1] for r in records}
+        for h in self._gamma_partners(t, g):
+            if h.name not in recorded_groups:
+                return False  # line 18
+        if not records:
+            return False  # k undefined until some (m, h, i) exists
+        k = max(r[2] for r in records)  # line 19
+        family_key = self._consensus_family(g)  # line 20
+        cons = self.space.consensus(m.mid, family_key, g)
+        targets = [
+            h
+            for h in self.my_groups
+            if h == g or g.intersects(h)
+        ]
+        if not cons.mutation_available(self.pid):
+            return False
+        for h in targets:
+            if not self._ilog(g, h).mutation_available(
+                self.pid, "bumpAndLock", m, k
+            ):
+                return False
+        k = cons.propose(self.pid, k)  # line 21
+        for h in targets:  # lines 22-23
+            self._ilog(g, h).bump_and_lock(self.pid, m, k)
+        self.phase[m.mid] = COMMIT
+        return True
+
+    # -- stabilize(m, h), lines 25-29 -----------------------------------------------
+
+    def _try_stabilize(
+        self,
+        t: int,
+        m: MulticastMessage,
+        g: Group,
+        max_fires: Optional[int] = None,
+    ) -> int:
+        if self.phase_of(m) != COMMIT:
+            return 0  # pre at line 26: PHASE[m] = commit
+        fired = 0
+        log_g = self._log(g)
+        for h in self.my_groups:  # line 27: h in G(p)
+            if max_fires is not None and fired >= max_fires:
+                return fired
+            if h != g and not g.intersects(h):
+                continue
+            if (m.mid, h) in self._stabilized:
+                continue
+            ilog = self._ilog(g, h)
+            if m not in ilog:
+                continue
+            if not self._all_at_least(ilog.messages_before(m), STABLE):
+                continue  # line 28
+            if not log_g.mutation_available(self.pid):
+                continue
+            log_g.append(self.pid, (m.mid, h.name))  # line 29
+            self._stabilized.add((m.mid, h))
+            fired += 1
+        return fired
+
+    # -- stable(m), lines 30-33 ---------------------------------------------------
+
+    def _stable_precondition(self, t: int, m: MulticastMessage, g: Group) -> bool:
+        log_g = self._log(g)
+        recorded = {r[1] for r in log_g.stabilization_records_for(m.mid)}
+        if self.variant == "strict":
+            # §6.1: wait on every intersecting group, with the indicator
+            # 1^{g∩h} as the escape hatch.
+            for h in self.topology.groups:
+                if h == g or not g.intersects(h):
+                    continue
+                if h.name in recorded:
+                    continue
+                indicator = self.indicators.get(g.intersection(h))
+                if indicator is None or not indicator.query(self.pid, t):
+                    return False
+            return True
+        for h in self._gamma_partners(t, g):  # line 32
+            if h.name not in recorded:
+                return False
+        return True
+
+    def _try_stable(self, t: int, m: MulticastMessage, g: Group) -> bool:
+        if self.phase_of(m) != COMMIT:
+            return False
+        if not self._stable_precondition(t, m, g):
+            return False
+        self.phase[m.mid] = STABLE  # line 33
+        return True
+
+    # -- deliver(m), lines 34-37 -----------------------------------------------------
+
+    def _try_deliver(self, t: int, m: MulticastMessage, g: Group) -> bool:
+        if self.phase_of(m) != STABLE:
+            return False
+        for h in self.my_groups:  # line 36, over the logs at p holding m
+            if h != g and not g.intersects(h):
+                continue
+            ilog = self._ilog(g, h)
+            if m not in ilog:
+                continue
+            if not self._all_at_least(ilog.messages_before(m), DELIVER):
+                return False
+        self.phase[m.mid] = DELIVER  # line 37
+        self._on_deliver(self.pid, m)
+        return True
+
+    # -- Introspection ---------------------------------------------------------------
+
+    def delivered(self) -> Tuple[MulticastMessage, ...]:
+        return tuple(
+            self.known[mid]
+            for mid in sorted(self.known)
+            if self.phase.get(mid) == DELIVER
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Algorithm1Process({self.pid.name}, {self.variant})"

@@ -1,0 +1,256 @@
+"""The round-based execution engine for Algorithm 1 and its variants.
+
+The engine realizes the asynchronous model at the granularity the paper's
+correctness argument uses: shared-object operations are linearizable, so a
+run is a sequence of atomic actions (§4.4 "we reason directly upon the
+linearization").  Each round advances the global clock by one, then lets
+every live process scan its enabled actions, in a seeded random order — an
+adversarially shuffled, yet reproducible, schedule.
+
+Crash injection follows the run's :class:`repro.model.FailurePattern`:
+from its crash time on, a process takes no further step.  *Participation
+sets* restrict which processes are scheduled at all; they express the
+P-fair runs of §6.2 (group parallelism) and the emulation constructions of
+§5 where entire group remainders take no step.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.core.algorithm1 import Algorithm1Process
+from repro.detectors.indicator import IndicatorOracle
+from repro.detectors.mu import Mu
+from repro.groups.topology import Group, GroupTopology
+from repro.model.errors import SimulationError
+from repro.model.failures import FailurePattern, Time
+from repro.model.messages import MessageFactory, MulticastMessage
+from repro.model.processes import ProcessId, ProcessSet
+from repro.model.runs import RunRecord
+from repro.objects.space import ObjectSpace
+
+#: An auxiliary per-process action source (e.g. the Prop. 1 reduction):
+#: called as ``component(pid, t)`` and returns the number of actions fired.
+Component = Callable[[ProcessId, Time], int]
+
+
+class MulticastSystem:
+    """One deployment of Algorithm 1 over a topology and failure pattern.
+
+    The ``multicast`` method is the *group-sequential* interface (the
+    caller promises the §4.1 discipline: per group, a new message is
+    multicast only by a sender that delivered the previous one).  The
+    vanilla interface is :class:`repro.core.group_sequential.AtomicMulticast`.
+
+    Attributes:
+        topology: destination groups.
+        pattern: the failure pattern of this run.
+        record: the observable trace, consumed by the property checkers.
+    """
+
+    def __init__(
+        self,
+        topology: GroupTopology,
+        pattern: FailurePattern,
+        variant: str = "vanilla",
+        gamma_lag: Time = 0,
+        indicator_lag: Time = 0,
+        omega_stabilization: Optional[Time] = None,
+        seed: int = 0,
+        isolation: bool = False,
+    ) -> None:
+        if pattern.processes != topology.processes:
+            raise SimulationError("pattern and topology disagree on processes")
+        self.topology = topology
+        self.pattern = pattern
+        self.variant = variant
+        self.time: Time = 0
+        self.record = RunRecord(topology.processes, pattern)
+        #: Processes able to respond to quorum requests *right now*:
+        #: the alive processes within the current participation set.
+        self._active: FrozenSet[ProcessId] = frozenset(
+            p for p in topology.processes if pattern.is_alive(p, 0)
+        )
+        self._participation: Optional[ProcessSet] = None
+        self.space = ObjectSpace(
+            self._charge, guard=self.quorum_ok, isolation=isolation
+        )
+        self.mu = Mu(
+            pattern,
+            topology,
+            gamma_lag=gamma_lag,
+            omega_stabilization=omega_stabilization,
+        )
+        self.indicators: Dict[FrozenSet[ProcessId], IndicatorOracle] = {}
+        if variant == "strict":
+            for g, h in topology.intersecting_pairs():
+                shared = g.intersection(h)
+                if shared not in self.indicators:
+                    self.indicators[shared] = IndicatorOracle(
+                        pattern, shared, detection_lag=indicator_lag
+                    )
+        self.factory = MessageFactory()
+        self.processes: Dict[ProcessId, Algorithm1Process] = {
+            p: Algorithm1Process(
+                p,
+                topology,
+                self.space,
+                self.mu,
+                on_deliver=self._on_deliver,
+                variant=variant,
+                indicators=self.indicators,
+            )
+            for p in sorted(topology.processes)
+        }
+        self._components: List[Component] = []
+        self._rng = random.Random(seed)
+        self._gamma_lag = gamma_lag
+        self._indicator_lag = indicator_lag
+
+    # -- Wiring ---------------------------------------------------------------
+
+    def _charge(self, p: ProcessId, reason: str) -> None:
+        self.record.note_step(self.time, p, received=reason)
+
+    def quorum_ok(self, caller: ProcessId, scope: ProcessSet) -> bool:
+        """Whether a ``Sigma_scope`` quorum can respond right now.
+
+        The required quorum is the oracle's current sample: the alive
+        members of the scope (pinned to the full scope when the whole
+        scope is doomed, preserving Intersection).  The operation can
+        complete only when that quorum lies within the processes actually
+        taking steps — alive and inside the current participation set.
+        This is what makes P-fair runs (§6.2) and the sub-runs of the
+        necessity constructions (§5) behave as in the message-passing
+        model: silent processes cannot be part of a responsive quorum.
+        """
+        alive_scope = {q for q in scope if self.pattern.is_alive(q, self.time)}
+        if any(self.pattern.is_correct(q) for q in scope):
+            required = alive_scope
+        else:
+            required = set(scope)
+        return required <= self._active
+
+    def _on_deliver(self, p: ProcessId, m: MulticastMessage) -> None:
+        self.record.note_delivery(self.time, p, m)
+
+    def add_component(self, component: Component) -> None:
+        """Register an auxiliary action source, run before the algorithm."""
+        self._components.append(component)
+
+    # -- Interface -----------------------------------------------------------------
+
+    def group(self, name: str) -> Group:
+        return self.topology.group(name)
+
+    def is_alive(self, p: ProcessId) -> bool:
+        return self.pattern.is_alive(p, self.time)
+
+    def make_message(
+        self, src: ProcessId, group: str, payload: object = None
+    ) -> MulticastMessage:
+        """Mint (but do not yet multicast) a message to a named group."""
+        g = self.topology.group(group)
+        if src not in g:
+            raise SimulationError(
+                f"closed model: {src.name} does not belong to {group}"
+            )
+        return self.factory.multicast(src, g.members, payload)
+
+    def multicast(
+        self, src: ProcessId, group: str, payload: object = None
+    ) -> MulticastMessage:
+        """Group-sequential multicast: ``src`` sends to ``group`` now."""
+        if not self.is_alive(src):
+            raise SimulationError(f"{src} is crashed and cannot multicast")
+        message = self.make_message(src, group, payload)
+        self.record.note_multicast(self.time, src, message)
+        self.processes[src].multicast(message)
+        return message
+
+    # -- Execution -----------------------------------------------------------------
+
+    def tick(
+        self,
+        participation: Optional[ProcessSet] = None,
+        responders: Optional[ProcessSet] = None,
+        action_budget: Optional[int] = None,
+    ) -> int:
+        """One round: advance the clock, let live processes act.
+
+        ``participation`` restricts who *acts* this round; ``responders``
+        (defaulting to the participation set) restricts who may answer
+        quorum requests — CHT-style simulated runs schedule one actor per
+        step while the other scheduled processes still serve quorums.
+        ``action_budget`` caps actions per process per round (finest
+        interleaving = 1, used by latency measurements).  Returns the
+        number of actions fired across the system.
+        """
+        self.time += 1
+        order = [
+            p
+            for p in self.topology.processes
+            if self.is_alive(p)
+            and (participation is None or p in participation)
+        ]
+        if responders is None:
+            self._active = frozenset(order)
+        else:
+            self._active = frozenset(
+                p for p in responders if self.is_alive(p)
+            )
+        order.sort()
+        self._rng.shuffle(order)
+        fired = 0
+        for p in order:
+            for component in self._components:
+                fired += component(p, self.time)
+            fired += self.processes[p].try_actions(
+                self.time, budget=action_budget
+            )
+        return fired
+
+    def settle_horizon(self) -> Time:
+        """A time by which all detector outputs have stabilized."""
+        last_crash = max(self.pattern.crash_times.values(), default=0)
+        return last_crash + self._gamma_lag + self._indicator_lag + 1
+
+    def run(
+        self,
+        max_rounds: int = 500,
+        participation: Optional[ProcessSet] = None,
+        quiescent_rounds: int = 2,
+    ) -> int:
+        """Run rounds until quiescence (or ``max_rounds``).
+
+        Quiescence requires ``quiescent_rounds`` consecutive idle rounds
+        *after* the detector settle horizon, since actions blocked on
+        ``gamma`` or an indicator may re-enable when a family dies.
+        Returns the number of rounds executed.
+        """
+        idle = 0
+        rounds = 0
+        while rounds < max_rounds:
+            fired = self.tick(participation)
+            rounds += 1
+            if fired == 0 and self.time >= self.settle_horizon():
+                idle += 1
+                if idle >= quiescent_rounds:
+                    break
+            else:
+                idle = 0
+        return rounds
+
+    # -- Inspection ----------------------------------------------------------------
+
+    def delivered_at(self, p: ProcessId) -> Tuple[MulticastMessage, ...]:
+        """The delivery sequence at ``p``."""
+        return self.record.local_order(p)
+
+    def everyone_delivered(self, message: MulticastMessage) -> bool:
+        """Whether every *correct* destination member delivered it."""
+        wanted = {
+            p for p in message.dst if self.pattern.is_correct(p)
+        }
+        return wanted <= self.record.delivered_by(message)

@@ -1,0 +1,31 @@
+"""Message phases of Algorithm 1 (§4.3).
+
+A message progresses through ``start -> pending -> commit -> stable ->
+deliver``; phases are totally ordered by that progression and the
+``deliver`` phase is terminal (Lemma 18 relies on this).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Phase(enum.IntEnum):
+    """The five phases of a message at a process, in progression order."""
+
+    START = 0
+    PENDING = 1
+    COMMIT = 2
+    STABLE = 3
+    DELIVER = 4
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+#: Convenience aliases matching the paper's typography.
+START = Phase.START
+PENDING = Phase.PENDING
+COMMIT = Phase.COMMIT
+STABLE = Phase.STABLE
+DELIVER = Phase.DELIVER

@@ -1,0 +1,183 @@
+"""Strongly genuine delivery orders from spanning trees (§7).
+
+The paper's closing discussion sketches how strongly genuine atomic
+multicast is failure-free solvable even when ``F ≠ ∅``: fix a spanning
+tree ``T`` of the intersection graph (one per connected component) and
+deliver each message across its intersections following the tree order
+``<_T``; a fault-tolerant version would use
+``mu ∧ (∧ Omega_{g∩h}) ∧ (∧_{g,h∈F} 1^{g∩h})`` — conjectured weakest.
+
+This module implements the failure-free sketch as an executable protocol:
+
+* :func:`spanning_tree_order` — a deterministic spanning forest of the
+  intersection graph with the induced total pre-order on groups;
+* :class:`SpanningTreeMulticast` — per message, timestamps are assigned
+  per group following the tree order (parent intersections first), and
+  delivery follows the resulting lexicographic order.  Each group
+  progresses as soon as its tree ancestors have stamped — in particular
+  disjoint subtrees progress in isolation, the strong-genuineness gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.groups.topology import Group, GroupTopology
+from repro.model.errors import SimulationError
+from repro.model.failures import FailurePattern, Time
+from repro.model.messages import MessageFactory, MulticastMessage
+from repro.model.processes import ProcessId
+from repro.model.runs import RunRecord
+
+
+def spanning_tree_order(
+    topology: GroupTopology,
+) -> Tuple[Dict[Group, int], Dict[Group, Optional[Group]]]:
+    """A deterministic spanning forest of the intersection graph.
+
+    Returns ``(rank, parent)``: a BFS numbering per connected component
+    (roots first — the order ``<_T``) and each group's tree parent.
+    """
+    adjacency = topology.intersection_graph()
+    rank: Dict[Group, int] = {}
+    parent: Dict[Group, Optional[Group]] = {}
+    counter = 0
+    for root in topology.groups:
+        if root in rank:
+            continue
+        parent[root] = None
+        queue = [root]
+        while queue:
+            current = queue.pop(0)
+            if current in rank:
+                continue
+            rank[current] = counter
+            counter += 1
+            for neighbor in sorted(adjacency[current]):
+                if neighbor not in rank and neighbor not in queue:
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+    return rank, parent
+
+
+@dataclass
+class _Pending:
+    message: MulticastMessage
+    group: Group
+    stamp: Optional[Tuple[int, int]] = None
+
+
+class SpanningTreeMulticast:
+    """Failure-free strongly genuine atomic multicast (§7 sketch).
+
+    Each group ``g`` owns a logical clock; a message to ``g`` is stamped
+    ``(clock_g, rank_T(g))`` once every message to a ``<_T``-smaller
+    *intersecting* group already in flight has been stamped — delivery
+    then follows stamps.  Because groups in different subtrees never wait
+    on each other, a group whose subtree is idle delivers in isolation.
+    """
+
+    def __init__(
+        self, topology: GroupTopology, pattern: FailurePattern, seed: int = 0
+    ) -> None:
+        self.topology = topology
+        self.pattern = pattern
+        self.rank, self.parent = spanning_tree_order(topology)
+        self.record = RunRecord(topology.processes, pattern)
+        self.factory = MessageFactory()
+        self.time: Time = 0
+        self._clock = 0
+        self._pending: List[_Pending] = []
+        self._delivered: Set[Tuple[ProcessId, object]] = set()
+
+    def multicast(
+        self, src: ProcessId, group: str, payload: object = None
+    ) -> MulticastMessage:
+        if not self.pattern.is_alive(src, self.time):
+            raise SimulationError(f"{src} is crashed and cannot multicast")
+        g = self.topology.group(group)
+        if src not in g:
+            raise SimulationError(f"{src.name} does not belong to {group}")
+        message = self.factory.multicast(src, g.members, payload)
+        self.record.note_multicast(self.time, src, message)
+        self._pending.append(_Pending(message, g))
+        return message
+
+    def _may_stamp(self, pending: _Pending) -> bool:
+        """Tree discipline: wait for unstamped messages at intersecting
+        groups of strictly smaller tree rank."""
+        for other in self._pending:
+            if other is pending or other.stamp is not None:
+                continue
+            if not other.group.intersects(pending.group):
+                continue
+            if self.rank[other.group] < self.rank[pending.group]:
+                return False
+        return True
+
+    def tick(self) -> int:
+        self.time += 1
+        fired = 0
+        for pending in sorted(
+            self._pending, key=lambda item: self.rank[item.group]
+        ):
+            if pending.stamp is None and self._may_stamp(pending):
+                self._clock += 1
+                pending.stamp = (self._clock, self.rank[pending.group])
+                for p in pending.group.members:
+                    if self.pattern.is_alive(p, self.time):
+                        self.record.note_step(
+                            self.time, p, received="tree.stamp"
+                        )
+                fired += 1
+        for pending in sorted(
+            (item for item in self._pending if item.stamp is not None),
+            key=lambda item: item.stamp,
+        ):
+            if not self._stamp_stable(pending):
+                continue
+            for p in sorted(pending.message.dst):
+                key = (p, pending.message.mid)
+                if key in self._delivered:
+                    continue
+                if not self.pattern.is_alive(p, self.time):
+                    continue
+                self._delivered.add(key)
+                self.record.note_delivery(self.time, p, pending.message)
+                self.record.note_step(self.time, p, received="tree.deliver")
+                fired += 1
+        return fired
+
+    def _stamp_stable(self, pending: _Pending) -> bool:
+        """Deliverable once no intersecting message can stamp lower."""
+        for other in self._pending:
+            if other is pending:
+                continue
+            if not other.group.intersects(pending.group):
+                continue
+            if other.stamp is None:
+                return False
+            if other.stamp < pending.stamp:
+                delivered = all(
+                    (p, other.message.mid) in self._delivered
+                    for p in other.message.dst
+                    if self.pattern.is_alive(p, self.time)
+                )
+                if not delivered:
+                    return False
+        return True
+
+    def run(self, max_rounds: int = 200) -> int:
+        rounds = 0
+        idle = 0
+        while rounds < max_rounds and idle < 2:
+            if self.tick() == 0:
+                idle += 1
+            else:
+                idle = 0
+            rounds += 1
+        return rounds
+
+    def delivered_at(self, p: ProcessId) -> Tuple[MulticastMessage, ...]:
+        return self.record.local_order(p)

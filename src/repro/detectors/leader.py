@@ -1,0 +1,64 @@
+"""The leader failure detector ``Omega`` (§3, from [8]).
+
+``Omega`` returns a process identity such that, when the scope contains a
+correct process, eventually all correct processes are returned the same
+correct leader forever (*Leadership*).
+
+The oracle supports a configurable *stabilization time*: before it, the
+sample is the smallest process of the scope still alive (which may be
+faulty and may change over time — deliberately unstable, as the real
+detector may misbehave for an arbitrary finite prefix); from the
+stabilization time on, the sample is the smallest correct process of the
+scope.  With ``stabilization_time=0`` the oracle is perfectly stable from
+the start.
+"""
+
+from __future__ import annotations
+
+from repro.detectors.base import OracleDetector
+from repro.model.errors import DetectorError
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessId, ProcessSet, pset
+
+
+class OmegaOracle(OracleDetector):
+    """Oracle-backed ``Omega_P``.
+
+    Attributes:
+        scope: the process set the leader is drawn from.
+        stabilization_time: first time at which the eventual leader is
+            reported; defaults to the last crash time of the pattern
+            (before which the detector may output crashed processes).
+    """
+
+    kind = "Omega"
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        scope: ProcessSet,
+        stabilization_time: int = None,
+    ) -> None:
+        super().__init__(pattern)
+        if not scope:
+            raise DetectorError("Omega scope must be non-empty")
+        self.scope = pset(scope)
+        if stabilization_time is None:
+            stabilization_time = max(pattern.crash_times.values(), default=0)
+        self.stabilization_time = stabilization_time
+        correct = [q for q in sorted(self.scope) if pattern.is_correct(q)]
+        #: The leader reported after stabilization (None when the whole
+        #: scope is faulty, in which case Leadership is vacuous).
+        self.eventual_leader = correct[0] if correct else None
+
+    def query(self, p: ProcessId, t: Time) -> ProcessId:
+        """The current leader estimate for the scope."""
+        if self.eventual_leader is not None and t >= self.stabilization_time:
+            return self.eventual_leader
+        alive = [q for q in sorted(self.scope) if self.pattern.is_alive(q, t)]
+        if alive:
+            return alive[0]
+        if self.eventual_leader is not None:
+            return self.eventual_leader
+        # Whole scope crashed: any output is a valid history.
+        return sorted(self.scope)[0]

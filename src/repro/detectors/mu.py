@@ -1,0 +1,118 @@
+"""The candidate failure detector ``mu`` (§3).
+
+``mu_G = (∧_{g,h∈G} Sigma_{g∩h}) ∧ (∧_{g∈G} Omega_g) ∧ gamma``
+
+Note that the first conjunct ranges over *all* pairs, including ``g = h``:
+``Sigma_{g∩g} = Sigma_g``, which combined with ``Omega_g`` makes consensus
+wait-free solvable inside every destination group (§4).
+
+:class:`Mu` is a facade bundling the oracle components with convenient
+accessors; it also exposes itself as a plain :class:`Conjunction` for the
+comparison harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.detectors.base import BOTTOM, FailureDetector
+from repro.detectors.cyclicity import GammaOracle, gamma_groups
+from repro.detectors.leader import OmegaOracle
+from repro.detectors.quorum import SigmaOracle
+from repro.detectors.restriction import Conjunction, Restricted
+from repro.groups.topology import Group, GroupFamily, GroupTopology
+from repro.model.errors import DetectorError
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessId, ProcessSet
+
+
+class Mu(FailureDetector):
+    """Oracle-backed candidate ``mu_G``.
+
+    Attributes:
+        pattern: the run's failure pattern.
+        topology: the destination groups ``G``.
+        gamma_lag: detection lag of the gamma component.
+        omega_stabilization: stabilization time of the Omega components.
+    """
+
+    kind = "mu"
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        topology: GroupTopology,
+        gamma_lag: Time = 0,
+        omega_stabilization: Optional[Time] = None,
+    ) -> None:
+        super().__init__()
+        self.pattern = pattern
+        self.topology = topology
+        self._sigmas: Dict[FrozenSet[ProcessId], SigmaOracle] = {}
+        self._omegas: Dict[Group, OmegaOracle] = {}
+        for g in topology.groups:
+            restricted = pattern.restricted_to(g.members)
+            self._omegas[g] = OmegaOracle(
+                restricted, g.members, stabilization_time=omega_stabilization
+            )
+            self._sigmas[g.members] = SigmaOracle(restricted, g.members)
+        for g, h in topology.intersecting_pairs():
+            shared = g.intersection(h)
+            if shared not in self._sigmas:
+                self._sigmas[shared] = SigmaOracle(
+                    pattern.restricted_to(shared), shared
+                )
+        self._gamma = GammaOracle(pattern, topology, detection_lag=gamma_lag)
+
+    # -- Component accessors (the API Algorithm 1 consumes) ---------------
+
+    def sigma(self, g: Group, h: Group) -> SigmaOracle:
+        """``Sigma_{g∩h}`` (``Sigma_g`` when ``g == h``)."""
+        shared = g.intersection(h)
+        try:
+            return self._sigmas[shared]
+        except KeyError:
+            raise DetectorError(
+                f"{g.name} and {h.name} do not intersect"
+            ) from None
+
+    def omega(self, g: Group) -> OmegaOracle:
+        """``Omega_g``."""
+        try:
+            return self._omegas[g]
+        except KeyError:
+            raise DetectorError(f"unknown group {g.name}") from None
+
+    @property
+    def gamma(self) -> GammaOracle:
+        return self._gamma
+
+    def gamma_partners(self, p: ProcessId, t: Time, g: Group) -> Tuple[Group, ...]:
+        """``gamma(g)`` as seen by ``p`` at ``t`` (§3 derived notation)."""
+        return gamma_groups(self._gamma.query(p, t), g)
+
+    # -- FailureDetector interface ----------------------------------------
+
+    def query(self, p: ProcessId, t: Time) -> Dict[str, object]:
+        """The full conjunction sample, keyed by component name."""
+        sample: Dict[str, object] = {}
+        for members, sigma in self._sigmas.items():
+            key = "sigma:" + ",".join(q.name for q in sorted(members))
+            sample[key] = sigma.query(p, t) if p in members else BOTTOM
+        for g, omega in self._omegas.items():
+            sample[f"omega:{g.name}"] = (
+                omega.query(p, t) if p in g.members else BOTTOM
+            )
+        sample["gamma"] = self._gamma.query(p, t)
+        return sample
+
+    def as_conjunction(self) -> Conjunction:
+        """This detector as a plain named conjunction (for comparisons)."""
+        components: Dict[str, FailureDetector] = {}
+        for members, sigma in self._sigmas.items():
+            key = "sigma:" + ",".join(q.name for q in sorted(members))
+            components[key] = Restricted(sigma, members)
+        for g, omega in self._omegas.items():
+            components[f"omega:{g.name}"] = Restricted(omega, g.members)
+        components["gamma"] = self._gamma
+        return Conjunction(components)

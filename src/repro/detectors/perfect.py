@@ -1,0 +1,43 @@
+"""The perfect failure detector ``P`` ([14], §1, §7).
+
+``P`` returns a set of suspected processes satisfying:
+
+* *Strong accuracy*: no process is suspected before it crashes;
+* *Strong completeness*: every crashed process is eventually suspected by
+  every correct process, forever.
+
+It is the weakest *realistic* detector for consensus [14] and suffices for
+genuine atomic multicast [36]; the paper's contribution is that the much
+weaker ``mu`` is enough.  The oracle is included both as a baseline
+detector (Table 1, row [36]) and to support the Schiper–Pedone baseline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.detectors.base import OracleDetector
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessId, pset
+
+
+class PerfectOracle(OracleDetector):
+    """Oracle-backed perfect detector.
+
+    Attributes:
+        detection_lag: delay between a crash and its first report; strong
+            accuracy holds for any lag >= 0.
+    """
+
+    kind = "P"
+
+    def __init__(self, pattern: FailurePattern, detection_lag: Time = 0) -> None:
+        super().__init__(pattern)
+        self.detection_lag = detection_lag
+
+    def query(self, p: ProcessId, t: Time) -> FrozenSet[ProcessId]:
+        """The processes crashed at least ``detection_lag`` ago."""
+        horizon = t - self.detection_lag
+        if horizon < 0:
+            return frozenset()
+        return self.pattern.at(horizon)

@@ -1,0 +1,61 @@
+"""The quorum failure detector ``Sigma`` (§3, from [15]).
+
+``Sigma`` returns non-empty process sets satisfying:
+
+* *Intersection*: any two samples, at any processes and times, intersect;
+* *Liveness*: at every correct process, samples are eventually contained
+  in the correct processes.
+
+The oracle implementation returns the alive members of its scope, which
+satisfies both properties whenever the scope contains a correct process
+(every sample then contains ``Correct ∩ P``).  When the whole scope is
+faulty, Liveness is vacuous (restricted to ``F ∩ P`` there is no correct
+process) and the oracle pins its output to the full scope so Intersection
+still holds.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.detectors.base import OracleDetector
+from repro.model.errors import DetectorError
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessId, ProcessSet, pset
+
+
+class SigmaOracle(OracleDetector):
+    """Oracle-backed ``Sigma_P``.
+
+    Attributes:
+        scope: the process set ``P`` the detector is restricted to;
+            ``Sigma_P`` over the full system is obtained by passing all
+            processes.
+    """
+
+    kind = "Sigma"
+
+    def __init__(self, pattern: FailurePattern, scope: ProcessSet) -> None:
+        super().__init__(pattern)
+        if not scope:
+            raise DetectorError("Sigma scope must be non-empty")
+        self.scope = pset(scope)
+        self._scope_correct = pset(
+            p for p in self.scope if pattern.is_correct(p)
+        )
+
+    def query(self, p: ProcessId, t: Time) -> FrozenSet[ProcessId]:
+        """A quorum of ``scope`` at time ``t``.
+
+        The caller need not belong to the scope: the restriction semantics
+        (return ``⊥`` outside ``P``) is layered on by
+        :class:`repro.detectors.restriction.Restricted`.
+        """
+        if not self._scope_correct:
+            # Entire scope eventually crashes: Liveness is vacuous, keep
+            # Intersection by answering the constant full scope.
+            return self.scope
+        alive = pset(q for q in self.scope if self.pattern.is_alive(q, t))
+        # ``alive`` contains every correct member of the scope, hence any
+        # two samples intersect on them.
+        return alive if alive else self._scope_correct

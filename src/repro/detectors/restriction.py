@@ -1,0 +1,70 @@
+"""Set restriction and conjunction of failure detectors (§3).
+
+``D_P`` behaves as ``D`` computed on the restricted failure pattern
+``F ∩ P`` at processes of ``P`` and returns ``⊥`` elsewhere.  The oracle
+detectors in this package already take their scope at construction (they
+are built from ``F`` and a scope), so :class:`Restricted` only adds the
+``⊥``-outside-the-scope behaviour.
+
+``C ∧ D`` returns pairs of samples; :class:`Conjunction` generalizes this
+to named components so large conjunctions such as ``mu`` stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.detectors.base import BOTTOM, FailureDetector
+from repro.model.errors import DetectorError
+from repro.model.failures import Time
+from repro.model.processes import ProcessId, ProcessSet, pset
+
+
+class Restricted(FailureDetector):
+    """``D_P``: ``D`` inside ``P``, ``⊥`` outside (§3).
+
+    Attributes:
+        inner: the wrapped detector (already computed w.r.t. ``F ∩ P``).
+        scope: the process set ``P``.
+    """
+
+    def __init__(self, inner: FailureDetector, scope: ProcessSet) -> None:
+        super().__init__()
+        if not scope:
+            raise DetectorError("restriction scope must be non-empty")
+        self.inner = inner
+        self.scope = pset(scope)
+        self.kind = f"{inner.kind}|restricted"
+
+    def query(self, p: ProcessId, t: Time) -> Any:
+        if p not in self.scope:
+            return BOTTOM
+        return self.inner.query(p, t)
+
+
+class Conjunction(FailureDetector):
+    """``∧_i D_i`` with named components.
+
+    Queries return a mapping ``component name -> sample`` so higher-level
+    code can address, e.g., ``mu.query(p, t)["omega:g1"]``.
+    """
+
+    kind = "Conjunction"
+
+    def __init__(self, components: Mapping[str, FailureDetector]) -> None:
+        super().__init__()
+        if not components:
+            raise DetectorError("a conjunction needs at least one component")
+        self.components: Dict[str, FailureDetector] = dict(components)
+
+    def query(self, p: ProcessId, t: Time) -> Dict[str, Any]:
+        return {
+            name: detector.query(p, t)
+            for name, detector in self.components.items()
+        }
+
+    def component(self, name: str) -> FailureDetector:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise DetectorError(f"no conjunction component {name!r}") from None

@@ -1,0 +1,237 @@
+"""Cyclic families, closed paths and family faultiness (§3, §5.2).
+
+A family ``f`` of destination groups is *cyclic* when its intersection
+graph is hamiltonian.  ``cpaths(f)`` are the closed paths visiting all its
+groups — i.e. all rooted, oriented traversals of the hamiltonian cycles.
+A cyclic family is *faulty at time t* when every closed path visits an
+edge ``(g, h)`` with ``g ∩ h`` faulty at ``t`` (equivalently: every
+hamiltonian cycle, as an edge set, contains a dead edge).
+
+§5.2 additionally needs path *equivalence* (same edge set) and *direction*
+(±1 w.r.t. a canonical representation); both are provided here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.groups.topology import Group, GroupFamily
+from repro.model.errors import TopologyError
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessSet
+
+#: A closed path: a group sequence with ``path[0] == path[-1]`` whose
+#: consecutive groups intersect, visiting every group of the family once.
+ClosedPath = Tuple[Group, ...]
+
+#: An undirected edge of the intersection graph, canonically ordered.
+Edge = Tuple[Group, Group]
+
+_CYCLE_CACHE: Dict[GroupFamily, Tuple[Tuple[Group, ...], ...]] = {}
+
+
+def _edge(g: Group, h: Group) -> Edge:
+    """Canonical (sorted) representation of an undirected edge."""
+    return (g, h) if g < h else (h, g)
+
+
+def intersection_adjacency(family: Iterable[Group]) -> Dict[Group, Set[Group]]:
+    """Adjacency sets of the intersection graph of ``family``."""
+    vertices = sorted(set(family))
+    return {
+        g: {h for h in vertices if h != g and g.intersects(h)} for g in vertices
+    }
+
+
+def hamiltonian_cycles(family: GroupFamily) -> Tuple[Tuple[Group, ...], ...]:
+    """All hamiltonian cycles of the family's intersection graph.
+
+    Each cycle is returned once, canonically: as an *open* vertex sequence
+    ``(v0, v1, ..., vK-1)`` starting at the smallest group, with
+    ``v1 < vK-1`` fixing the direction.  Results are memoized per family.
+    Families with fewer than three groups have no hamiltonian cycle.
+    """
+    if family in _CYCLE_CACHE:
+        return _CYCLE_CACHE[family]
+
+    vertices = sorted(family)
+    cycles: List[Tuple[Group, ...]] = []
+    if len(vertices) >= 3:
+        adjacency = intersection_adjacency(vertices)
+        start = vertices[0]
+        _extend_cycle(start, [start], {start}, adjacency, len(vertices), cycles)
+    result = tuple(cycles)
+    _CYCLE_CACHE[family] = result
+    return result
+
+
+def _extend_cycle(
+    start: Group,
+    path: List[Group],
+    visited: Set[Group],
+    adjacency: Dict[Group, Set[Group]],
+    total: int,
+    out: List[Tuple[Group, ...]],
+) -> None:
+    """Depth-first search for hamiltonian cycles rooted at ``start``."""
+    current = path[-1]
+    if len(path) == total:
+        if start in adjacency[current] and path[1] < path[-1]:
+            out.append(tuple(path))
+        return
+    for neighbor in sorted(adjacency[current]):
+        if neighbor not in visited:
+            # Prune mirrored traversals early: once two vertices are on the
+            # path the direction constraint path[1] < path[-1] is checked at
+            # the end; exploring both directions is still necessary for
+            # correctness, so no pruning beyond the visited set.
+            path.append(neighbor)
+            visited.add(neighbor)
+            _extend_cycle(start, path, visited, adjacency, total, out)
+            visited.remove(neighbor)
+            path.pop()
+
+
+def is_cyclic_family(family: GroupFamily) -> bool:
+    """Whether the intersection graph of ``family`` is hamiltonian (§3)."""
+    return bool(hamiltonian_cycles(family))
+
+
+def is_chordless_cycle_family(family: GroupFamily) -> bool:
+    """Whether the family's intersection graph is exactly a cycle.
+
+    A connected graph in which every vertex has degree two is a single
+    cycle: such families have a unique hamiltonian cycle (up to rotation
+    and direction) and no chords.  Chordless families are the granularity
+    at which Algorithm 1 derives its coordination wait-sets (see
+    :func:`repro.detectors.cyclicity.gamma_groups`): a group intersection
+    ``g ∩ h`` shared by any cyclic family always lies on some chordless
+    cycle (shortcut the cycle through chords until none remain), and the
+    death of ``g ∩ h`` makes every chordless family through that edge
+    faulty — which is what unblocks the waiters (Lemma 25).
+    """
+    if len(family) < 3:
+        return False
+    adjacency = intersection_adjacency(family)
+    if any(len(neighbors) != 2 for neighbors in adjacency.values()):
+        return False
+    return bool(hamiltonian_cycles(family))
+
+
+def cpaths(family: GroupFamily) -> Tuple[ClosedPath, ...]:
+    """``cpaths(f)``: every closed path visiting all groups of ``f``.
+
+    This enumerates every rooted, oriented traversal of every hamiltonian
+    cycle: for a cycle of length K this yields 2K closed paths (K starting
+    points x 2 directions), matching the paper's example where
+    ``g3 g1 g2 g3`` and ``g1 g3 g2 g1`` are distinct but equivalent paths.
+    """
+    paths: List[ClosedPath] = []
+    for cycle in hamiltonian_cycles(family):
+        k = len(cycle)
+        for direction in (1, -1):
+            ordered = cycle if direction == 1 else tuple(reversed(cycle))
+            for offset in range(k):
+                rotated = ordered[offset:] + ordered[:offset]
+                paths.append(rotated + (rotated[0],))
+    return tuple(paths)
+
+
+def path_edges(path: ClosedPath) -> FrozenSet[Edge]:
+    """The undirected edges visited by a closed path."""
+    return frozenset(_edge(path[i], path[i + 1]) for i in range(len(path) - 1))
+
+
+def paths_equivalent(path_a: ClosedPath, path_b: ClosedPath) -> bool:
+    """``π ≡ π'``: the two closed paths visit the same edges (§5.2)."""
+    return path_edges(path_a) == path_edges(path_b)
+
+
+def path_direction(path: ClosedPath) -> int:
+    """``dir(π)``: +1 when π follows the canonical cycle orientation.
+
+    The canonical representation of the cycle is the one produced by
+    :func:`hamiltonian_cycles`; a path traversing its edges in that
+    rotational order is clockwise (+1), the reverse is -1.
+    """
+    family = frozenset(path[:-1])
+    open_path = path[:-1]
+    for cycle in hamiltonian_cycles(family):
+        if path_edges(path) != path_edges(cycle + (cycle[0],)):
+            continue
+        k = len(cycle)
+        start = open_path[0]
+        if start not in cycle:
+            continue
+        offset = cycle.index(start)
+        forward = tuple(cycle[(offset + i) % k] for i in range(k))
+        if open_path == forward:
+            return 1
+        backward = tuple(cycle[(offset - i) % k] for i in range(k))
+        if open_path == backward:
+            return -1
+    raise TopologyError(f"not a closed path of its family: {path}")
+
+
+def faulty_edges_at(
+    family: GroupFamily, pattern: FailurePattern, t: Time
+) -> FrozenSet[Edge]:
+    """Edges ``(g, h)`` of the family whose intersection is crashed at ``t``."""
+    dead: Set[Edge] = set()
+    for g, h in itertools.combinations(sorted(family), 2):
+        shared = g.intersection(h)
+        if shared and pattern.set_faulty_at(shared, t):
+            dead.add(_edge(g, h))
+    return frozenset(dead)
+
+
+def family_faulty_at(
+    family: GroupFamily, pattern: FailurePattern, t: Time
+) -> bool:
+    """Whether a cyclic family is *faulty at time t* (§3).
+
+    True when every closed path of the family visits some edge whose group
+    intersection is entirely crashed at ``t``.  Since equivalent paths
+    visit the same edges it suffices to check one representative per
+    hamiltonian cycle.
+    """
+    cycles = hamiltonian_cycles(family)
+    if not cycles:
+        raise TopologyError("faultiness is only defined for cyclic families")
+    dead = faulty_edges_at(family, pattern, t)
+    if not dead:
+        return False
+    for cycle in cycles:
+        closed = cycle + (cycle[0],)
+        if not (path_edges(closed) & dead):
+            return False
+    return True
+
+
+def family_eventually_faulty(
+    family: GroupFamily, pattern: FailurePattern
+) -> bool:
+    """Whether the family becomes faulty at some time under ``pattern``."""
+    horizon = max(pattern.crash_times.values(), default=0)
+    return family_faulty_at(family, pattern, horizon)
+
+
+def family_fault_time(
+    family: GroupFamily, pattern: FailurePattern
+) -> Optional[Time]:
+    """The first time at which the family is faulty, if ever.
+
+    Computed by checking faultiness at each crash time of the pattern
+    (faultiness can only change at crash instants).
+    """
+    instants = sorted(set(pattern.crash_times.values()))
+    for t in instants:
+        if family_faulty_at(family, pattern, t):
+            return t
+    return None
+
+
+def family_name(family: GroupFamily) -> str:
+    """Deterministic human-readable name, e.g. ``{g1,g2,g3}``."""
+    return "{" + ",".join(g.name for g in sorted(family, key=lambda g: g.name)) + "}"

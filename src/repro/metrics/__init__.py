@@ -1,0 +1,11 @@
+"""Run metrics and benchmark table formatting."""
+
+from repro.metrics.summary import (
+    RunSummary,
+    format_table,
+    latency_of,
+    steps_at,
+    summarize,
+)
+
+__all__ = ["RunSummary", "format_table", "latency_of", "steps_at", "summarize"]

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class ModelError(ReproError):
+    """A violation of the system model (Appendix A of the paper).
+
+    Raised, for instance, when a crashed process attempts to take a step,
+    or when a failure pattern is not monotone.
+    """
+
+
+class SpecificationError(ReproError):
+    """An object was used outside its sequential specification.
+
+    For example, calling ``bumpAndLock`` on a datum that is not present in
+    a log, or proposing to a consensus object that already decided with an
+    incompatible configuration.
+    """
+
+
+class TopologyError(ReproError):
+    """An ill-formed destination-group topology.
+
+    Raised when groups are empty, reference unknown processes, or when a
+    requested group/intersection does not exist in the topology.
+    """
+
+
+class DetectorError(ReproError):
+    """A failure-detector module was queried incorrectly.
+
+    For instance querying a set-restricted detector from a process outside
+    its scope when the caller asked for strict range checking.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an inconsistent state.
+
+    This signals a bug in a protocol implementation (e.g. an automaton
+    returning malformed send instructions), never an expected condition.
+    """
+
+
+class PropertyViolation(ReproError):
+    """A correctness property of atomic multicast was violated in a run.
+
+    Property checkers raise this (or return structured evidence) when a
+    recorded run breaks Integrity, Ordering, Termination, Minimality,
+    Strict Ordering or Group Parallelism.
+    """
+
+    def __init__(self, prop: str, evidence: str) -> None:
+        super().__init__(f"{prop}: {evidence}")
+        self.prop = prop
+        self.evidence = evidence

@@ -1,0 +1,198 @@
+"""Messages and the message buffer (Appendix A).
+
+Two kinds of "message" coexist in the paper and therefore here:
+
+* **Application messages** (:class:`MulticastMessage`): the values that the
+  atomic-multicast primitive disseminates.  Each has a sender ``src(m)``, a
+  destination group ``dst(m)`` and a payload.  The dissemination model is
+  closed (``src(m) ∈ dst(m)``).
+
+* **Network datagrams** (:class:`Datagram`): the point-to-point envelopes
+  that protocol automata exchange through the shared :class:`MessageBuffer`.
+  A step of an automaton receives at most one datagram (possibly the null
+  message) and may send new ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.model.errors import ModelError
+from repro.model.processes import ProcessId, ProcessSet, pset
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Unique identity of a multicast message.
+
+    Ordered lexicographically: this provides the "a priori total order"
+    over data items that logs use to break ties within a slot (§4.3).
+    """
+
+    sender_index: int
+    sequence: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m(p{self.sender_index}#{self.sequence})"
+
+
+@dataclass(frozen=True)
+class MulticastMessage:
+    """A message of the atomic-multicast problem.
+
+    Attributes:
+        mid: globally unique identity; also the log tie-break order.
+        src: the sending process; must belong to ``dst``.
+        dst: the destination group ``dst(m)``.
+        payload: opaque application payload (the problem is not
+            payload-sensitive, §2.2).
+    """
+
+    mid: MessageId
+    src: ProcessId
+    dst: ProcessSet
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.src not in self.dst:
+            raise ModelError(
+                f"closed dissemination model requires src in dst: "
+                f"{self.src} not in {sorted(self.dst)}"
+            )
+        if self.src.index != self.mid.sender_index:
+            raise ModelError("message id must carry the sender index")
+
+    def __lt__(self, other: "MulticastMessage") -> bool:
+        return self.mid < other.mid
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        group = ",".join(p.name for p in sorted(self.dst))
+        return f"<{self.mid} to {{{group}}}>"
+
+
+class MessageFactory:
+    """Mints :class:`MulticastMessage` instances with unique identities.
+
+    A single factory should be shared per run so identities never collide.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[ProcessId, itertools.count] = {}
+
+    def multicast(
+        self, src: ProcessId, dst: Iterable[ProcessId], payload: Any = None
+    ) -> MulticastMessage:
+        """Create a fresh message from ``src`` to group ``dst``."""
+        group = pset(dst)
+        counter = self._counters.setdefault(src, itertools.count(1))
+        mid = MessageId(sender_index=src.index, sequence=next(counter))
+        return MulticastMessage(mid=mid, src=src, dst=group, payload=payload)
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """A point-to-point protocol message in transit.
+
+    Attributes:
+        src: sending process.
+        dst: receiving process.
+        tag: protocol-level message kind (e.g. ``"PROPOSE"``).
+        body: protocol-specific payload tuple (must be hashable for
+            deterministic replay).
+        uid: per-buffer unique id, assigned on send, so duplicates of the
+            same logical message remain distinct in the buffer.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    tag: str
+    body: Tuple[Any, ...] = ()
+    uid: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src.name}->{self.dst.name}:{self.tag}{self.body}"
+
+
+#: The null message m_bot: receive attempts may return nothing.
+NULL_MESSAGE: Optional[Datagram] = None
+
+
+class MessageBuffer:
+    """The shared buffer ``BUFF`` of sent-but-not-received datagrams.
+
+    The buffer offers the exact semantics of Appendix A: receiving either
+    removes some datagram addressed to the receiver or returns the null
+    message — even when the buffer is non-empty (the scheduler decides).
+    Fairness (every message addressed to a process taking infinitely many
+    receive steps is eventually received) is the scheduler's obligation and
+    is supported by FIFO extraction order per destination.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[ProcessId, List[Datagram]] = {}
+        self._uid = itertools.count(1)
+        self.sent_count = 0
+        self.received_count = 0
+
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        tag: str,
+        body: Tuple[Any, ...] = (),
+    ) -> Datagram:
+        """Add a datagram to the buffer and return it."""
+        datagram = Datagram(src=src, dst=dst, tag=tag, body=body, uid=next(self._uid))
+        self._pending.setdefault(dst, []).append(datagram)
+        self.sent_count += 1
+        return datagram
+
+    def broadcast(
+        self,
+        src: ProcessId,
+        dsts: Iterable[ProcessId],
+        tag: str,
+        body: Tuple[Any, ...] = (),
+    ) -> List[Datagram]:
+        """Send one copy of the datagram to every destination."""
+        return [self.send(src, dst, tag, body) for dst in dsts]
+
+    def pending_for(self, p: ProcessId) -> Tuple[Datagram, ...]:
+        """A snapshot of the datagrams currently addressed to ``p``."""
+        return tuple(self._pending.get(p, ()))
+
+    def has_pending(self, p: ProcessId) -> bool:
+        return bool(self._pending.get(p))
+
+    def receive(self, p: ProcessId) -> Optional[Datagram]:
+        """Remove and return the oldest datagram addressed to ``p``.
+
+        Returns the null message when nothing is pending.  FIFO extraction
+        makes the standard fairness condition easy for schedulers to honor.
+        """
+        queue = self._pending.get(p)
+        if not queue:
+            return NULL_MESSAGE
+        self.received_count += 1
+        return queue.pop(0)
+
+    def receive_specific(self, p: ProcessId, datagram: Datagram) -> Datagram:
+        """Remove a specific pending datagram (adversarial schedulers)."""
+        queue = self._pending.get(p)
+        if not queue or datagram not in queue:
+            raise ModelError(f"{datagram!r} is not pending for {p}")
+        queue.remove(datagram)
+        self.received_count += 1
+        return datagram
+
+    def drop_all_for(self, p: ProcessId) -> int:
+        """Discard every datagram addressed to ``p`` (crashed processes
+        never receive).  Returns the number of dropped datagrams."""
+        dropped = len(self._pending.pop(p, ()))
+        return dropped
+
+    def in_transit(self) -> int:
+        """Total number of datagrams currently buffered."""
+        return sum(len(q) for q in self._pending.values())

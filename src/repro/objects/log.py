@@ -1,0 +1,153 @@
+"""The shared log object of Algorithm 1 (§4.3).
+
+A log is an infinite array of slots numbered from 1, each holding zero or
+more data items.  The sequential interface is exactly the paper's:
+
+* ``append(d)`` inserts ``d`` at the head slot (idempotent when ``d`` is
+  already present) and returns its position;
+* ``pos(d)`` returns the slot of ``d`` (0 when absent);
+* ``bumpAndLock(d, k)`` moves ``d`` from its slot ``l`` to ``max(k, l)``
+  and locks it; locked data can no longer be bumped;
+* ``locked(d)`` tells whether ``d`` is locked.
+
+The log induces an order: ``d <_L d'`` iff ``pos(d) < pos(d')``, or they
+share a slot and ``d < d'`` for the a-priori total order over data items
+(here: Python's ``<`` on the items, e.g. message identifiers).
+
+Logs hold heterogeneous items in Algorithm 1 — messages, position records
+``(m, h, i)`` and stabilization records ``(m, h)`` — so ordering queries
+are only issued between mutually comparable items; the convenience
+accessors (:meth:`messages_before` etc.) filter by item kind first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.errors import SpecificationError
+
+
+class Log:
+    """Sequential specification of the shared log.
+
+    The object is long-lived and grow-only; linearizability is provided by
+    the runtime layer (operations run atomically inside simulator actions).
+
+    Attributes:
+        name: diagnostic label, e.g. ``"LOG_g1∩g3"``.
+    """
+
+    def __init__(self, name: str = "LOG") -> None:
+        self.name = name
+        self._positions: Dict[Any, int] = {}
+        self._locked: Set[Any] = set()
+        self._head = 1
+
+    # -- Core interface (§4.3) -------------------------------------------
+
+    def append(self, datum: Any) -> int:
+        """Insert ``datum`` at the head slot; no-op if already present.
+
+        Returns the (possibly pre-existing) position of ``datum``.
+        """
+        existing = self._positions.get(datum)
+        if existing is not None:
+            return existing
+        position = self._head
+        self._positions[datum] = position
+        self._head = position + 1
+        return position
+
+    def pos(self, datum: Any) -> int:
+        """The slot of ``datum``; 0 when absent."""
+        return self._positions.get(datum, 0)
+
+    def bump_and_lock(self, datum: Any, k: int) -> int:
+        """Move ``datum`` to ``max(k, current slot)`` and lock it.
+
+        Locking is idempotent: once locked, further calls leave the datum
+        untouched (locked data cannot be bumped anymore).  Returns the
+        final position.
+        """
+        current = self._positions.get(datum)
+        if current is None:
+            raise SpecificationError(
+                f"{self.name}: bumpAndLock on absent datum {datum!r}"
+            )
+        if datum in self._locked:
+            return current
+        final = max(k, current)
+        self._positions[datum] = final
+        self._locked.add(datum)
+        if final >= self._head:
+            self._head = final + 1
+        return final
+
+    def locked(self, datum: Any) -> bool:
+        """Whether ``datum`` is locked in the log."""
+        return datum in self._locked
+
+    def __contains__(self, datum: Any) -> bool:
+        return datum in self._positions
+
+    # -- Ordering ----------------------------------------------------------
+
+    def precedes(self, d: Any, d_prime: Any) -> bool:
+        """``d <_L d'``: both present, lower slot or slot tie-break."""
+        pos_d = self._positions.get(d)
+        pos_dp = self._positions.get(d_prime)
+        if pos_d is None or pos_dp is None:
+            return False
+        if pos_d != pos_dp:
+            return pos_d < pos_dp
+        return d < d_prime
+
+    # -- Convenience accessors ---------------------------------------------
+
+    def items(self) -> Tuple[Any, ...]:
+        """Every datum, ordered by ``<_L`` within comparable kinds.
+
+        Items are sorted by slot; ties are broken by the items' own order
+        when comparable, else by insertion order (mixed-kind ties never
+        matter to the algorithm).
+        """
+        def sort_key(entry: Tuple[Any, int]) -> Tuple[int, int]:
+            return (entry[1], 0)
+
+        ordered = sorted(self._positions.items(), key=sort_key)
+        return tuple(datum for datum, _ in ordered)
+
+    def messages(self) -> Tuple[Any, ...]:
+        """The *message* items of the log, in ``<_L`` order.
+
+        Messages are recognized by not being tuples (Algorithm 1 stores
+        records as tuples).
+        """
+        present = [d for d in self._positions if not isinstance(d, tuple)]
+        present.sort(key=lambda d: (self._positions[d], d))
+        return tuple(present)
+
+    def messages_before(self, datum: Any) -> Tuple[Any, ...]:
+        """Messages ``m'`` with ``m' <_L datum``."""
+        return tuple(m for m in self.messages() if self.precedes(m, datum))
+
+    def records(self) -> Tuple[Tuple[Any, ...], ...]:
+        """The tuple-shaped records of the log, in insertion-slot order."""
+        present = [d for d in self._positions if isinstance(d, tuple)]
+        present.sort(key=lambda d: self._positions[d])
+        return tuple(present)
+
+    def position_records_for(self, message: Any) -> Tuple[Tuple[Any, Any, int], ...]:
+        """Records ``(m, h, i)`` of ``message`` (written at line 14)."""
+        return tuple(
+            r for r in self.records() if len(r) == 3 and r[0] == message
+        )
+
+    def stabilization_records_for(self, message: Any) -> Tuple[Tuple[Any, Any], ...]:
+        """Records ``(m, h)`` of ``message`` (written at line 29)."""
+        return tuple(
+            r for r in self.records() if len(r) == 2 and r[0] == message
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}[{len(self._positions)} items, head={self._head}]"

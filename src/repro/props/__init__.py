@@ -1,0 +1,31 @@
+"""Executable correctness properties of atomic multicast (§2, §6, §7)."""
+
+from repro.props.checkers import (
+    assert_run_ok,
+    check_group_parallelism,
+    check_integrity,
+    check_minimality,
+    check_ordering,
+    check_pairwise_ordering,
+    check_strict_ordering,
+    check_termination,
+)
+from repro.props.relations import (
+    find_cycle,
+    local_delivery_edges,
+    realtime_edges,
+)
+
+__all__ = [
+    "assert_run_ok",
+    "check_group_parallelism",
+    "check_integrity",
+    "check_minimality",
+    "check_ordering",
+    "check_pairwise_ordering",
+    "check_strict_ordering",
+    "check_termination",
+    "find_cycle",
+    "local_delivery_edges",
+    "realtime_edges",
+]

@@ -1,0 +1,121 @@
+"""The delivery relations of the paper (§2.2, §6.1, §7).
+
+Builds, from a :class:`repro.model.RunRecord`:
+
+* the local delivery order ``m |->_p m'`` — ``p`` (in both destination
+  groups) delivered ``m`` at a time when it had not delivered ``m'``;
+* the global delivery relation ``|->`` (union over processes);
+* the real-time relation ``m ~> m'`` — ``m`` was delivered (somewhere)
+  before ``m'`` was multicast.
+
+All relations are returned as edge sets over message ids together with a
+cycle oracle, which is what the Ordering / Strict Ordering / Pairwise
+Ordering checkers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.messages import MessageId, MulticastMessage
+from repro.model.processes import ProcessId
+from repro.model.runs import RunRecord
+
+#: A directed edge between message ids.
+Edge = Tuple[MessageId, MessageId]
+
+
+def local_delivery_edges(record: RunRecord) -> Set[Edge]:
+    """All pairs ``m |->_p m'`` over all processes ``p``.
+
+    ``m |->_p m'`` holds when ``p`` belongs to both destination groups,
+    delivered ``m``, and at that point had not delivered ``m'`` — which
+    covers both "delivered ``m`` before ``m'``" and "delivered ``m`` and
+    never ``m'``".
+    """
+    edges: Set[Edge] = set()
+    delivered = record.delivered_messages()
+    by_process: Dict[ProcessId, Sequence[MulticastMessage]] = {
+        p: record.local_order(p) for p in record.processes
+    }
+    for p, order in by_process.items():
+        seen_ids = [m.mid for m in order]
+        position = {mid: i for i, mid in enumerate(seen_ids)}
+        for m in order:
+            for m_prime in delivered:
+                if m.mid == m_prime.mid:
+                    continue
+                if p not in m_prime.dst or p not in m.dst:
+                    continue
+                later = position.get(m_prime.mid)
+                if later is None or later > position[m.mid]:
+                    edges.add((m.mid, m_prime.mid))
+    return edges
+
+
+def realtime_edges(record: RunRecord) -> Set[Edge]:
+    """All pairs ``m ~> m'``: ``m`` delivered before ``m'`` multicast."""
+    edges: Set[Edge] = set()
+    delivered = record.delivered_messages()
+    multicast = record.multicast_messages()
+    for m in delivered:
+        first = record.first_delivery_time(m)
+        if first is None:
+            continue
+        for m_prime in multicast:
+            if m.mid == m_prime.mid:
+                continue
+            sent = record.multicast_time(m_prime)
+            if sent is not None and first < sent:
+                edges.add((m.mid, m_prime.mid))
+    return edges
+
+
+def find_cycle(edges: Iterable[Edge]) -> Optional[List[MessageId]]:
+    """A cycle in the directed graph, or ``None`` when acyclic.
+
+    Returns the cycle as a vertex list ``[v0, v1, ..., v0]``.
+    """
+    adjacency: Dict[MessageId, List[MessageId]] = {}
+    for src, dst in edges:
+        adjacency.setdefault(src, []).append(dst)
+        adjacency.setdefault(dst, [])
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[MessageId, int] = {v: WHITE for v in adjacency}
+    parent: Dict[MessageId, Optional[MessageId]] = {}
+
+    for root in adjacency:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[MessageId, Iterable[MessageId]]] = [
+            (root, iter(adjacency[root]))
+        ]
+        color[root] = GRAY
+        parent[root] = None
+        while stack:
+            vertex, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    parent[child] = vertex
+                    stack.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+                if color[child] == GRAY:
+                    # Found a back-edge: reconstruct the cycle.
+                    cycle = [child, vertex]
+                    walker = parent[vertex]
+                    while walker is not None and cycle[-1] != child:
+                        cycle.append(walker)
+                        walker = parent.get(walker)
+                    if cycle[-1] != child:
+                        cycle.append(child)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                color[vertex] = BLACK
+                stack.pop()
+        # fall through: this component is acyclic.
+    return None

@@ -1,0 +1,5 @@
+"""Step-level simulation kernel for message-passing automata (Appendix A)."""
+
+from repro.sim.kernel import Automaton, Context, Kernel
+
+__all__ = ["Automaton", "Context", "Kernel"]

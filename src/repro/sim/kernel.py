@@ -1,0 +1,163 @@
+"""The step-level simulation kernel (Appendix A).
+
+This kernel executes protocol *automata* at the granularity of the formal
+model: a step receives at most one datagram from the shared message
+buffer, queries the local failure-detector module, updates local state and
+sends datagrams.  Schedules are seeded-random with round-robin fairness
+(every alive process is scheduled in every round), so the standard
+well-formedness conditions hold: crashed processes take no steps and every
+message addressed to a live process is eventually received.
+
+The kernel hosts the genuine message-passing substrates of §4.3
+(:mod:`repro.substrates`): ABD registers from ``Sigma``, adopt–commit from
+``Sigma_{g∩h}`` and leader-driven consensus from ``Omega ∧ Sigma``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.detectors.base import FailureDetector
+from repro.model.errors import SimulationError
+from repro.model.failures import FailurePattern, Time
+from repro.model.messages import Datagram, MessageBuffer
+from repro.model.processes import ProcessId, ProcessSet
+
+
+class Context:
+    """The per-step view an automaton gets of the world.
+
+    Attributes:
+        pid: the stepping process.
+        time: the global time of this step.
+        detector: the sample obtained from the local detector module.
+    """
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        time: Time,
+        detector: Any,
+        buffer: MessageBuffer,
+        outputs: List[Any],
+    ) -> None:
+        self.pid = pid
+        self.time = time
+        self.detector = detector
+        self._buffer = buffer
+        self._outputs = outputs
+
+    def send(self, dst: ProcessId, tag: str, *body: Any) -> None:
+        """Queue a datagram to ``dst``."""
+        self._buffer.send(self.pid, dst, tag, tuple(body))
+
+    def broadcast(self, dsts: Sequence[ProcessId], tag: str, *body: Any) -> None:
+        """Queue one datagram per destination (including self if listed)."""
+        for dst in dsts:
+            self._buffer.send(self.pid, dst, tag, tuple(body))
+
+    def output(self, value: Any) -> None:
+        """Append to the process's output queue (OUT of Appendix A)."""
+        self._outputs.append((self.time, value))
+
+
+class Automaton:
+    """Base class of protocol automata: one instance per process."""
+
+    def on_start(self, ctx: Context) -> None:
+        """Called once, on the process's first step."""
+
+    def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        """Called at every step with the received datagram (or null)."""
+        raise NotImplementedError
+
+
+class Kernel:
+    """Drives a set of automata over the shared message buffer.
+
+    Attributes:
+        pattern: the failure pattern; crashed processes stop stepping and
+            their pending datagrams are dropped.
+    """
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        automata: Dict[ProcessId, Automaton],
+        detectors: Optional[Dict[ProcessId, FailureDetector]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.pattern = pattern
+        self.automata = dict(automata)
+        self.detectors = detectors or {}
+        self.buffer = MessageBuffer()
+        self.time: Time = 0
+        self.outputs: Dict[ProcessId, List[Tuple[Time, Any]]] = {
+            p: [] for p in automata
+        }
+        self.steps_taken: Dict[ProcessId, int] = {p: 0 for p in automata}
+        self._started: set = set()
+        self._rng = random.Random(seed)
+
+    # -- Stepping --------------------------------------------------------------
+
+    def step_process(self, p: ProcessId) -> None:
+        """Execute one step of ``p`` (receive, sample, transition)."""
+        if not self.pattern.is_alive(p, self.time):
+            raise SimulationError(f"{p} is crashed and cannot step")
+        detector = self.detectors.get(p)
+        sample = detector.query(p, self.time) if detector else None
+        ctx = Context(p, self.time, sample, self.buffer, self.outputs[p])
+        if p not in self._started:
+            self._started.add(p)
+            self.automata[p].on_start(ctx)
+        datagram = self.buffer.receive(p)
+        self.automata[p].on_step(ctx, datagram)
+        self.steps_taken[p] += 1
+
+    def round(self, participation: Optional[ProcessSet] = None) -> int:
+        """One fair round: every eligible alive process takes one step.
+
+        The intra-round order is seeded-random.  Datagrams addressed to
+        processes crashed by now are dropped (they will never receive).
+        Returns the number of steps taken.
+        """
+        self.time += 1
+        for p in self.automata:
+            if not self.pattern.is_alive(p, self.time):
+                self.buffer.drop_all_for(p)
+        order = [
+            p
+            for p in self.automata
+            if self.pattern.is_alive(p, self.time)
+            and (participation is None or p in participation)
+        ]
+        order.sort()
+        self._rng.shuffle(order)
+        for p in order:
+            self.step_process(p)
+        return len(order)
+
+    def run(
+        self,
+        rounds: int,
+        participation: Optional[ProcessSet] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run up to ``rounds`` fair rounds; stop early on ``stop_when``."""
+        done = 0
+        for _ in range(rounds):
+            self.round(participation)
+            done += 1
+            if stop_when is not None and stop_when():
+                break
+        return done
+
+    # -- Introspection -------------------------------------------------------------
+
+    def outputs_of(self, p: ProcessId) -> Tuple[Any, ...]:
+        return tuple(value for _, value in self.outputs[p])
+
+    def total_messages(self) -> int:
+        return self.buffer.sent_count

@@ -1,0 +1,153 @@
+"""ABD atomic registers from ``Sigma`` (§4, first observation).
+
+The paper's sufficiency argument starts from "``Sigma_g`` permits to build
+shared atomic registers in ``g``" [15].  This module is that construction:
+a multi-writer multi-reader register over the step-level kernel, with the
+classic two-phase ABD protocol generalized to dynamic quorums — a phase
+completes when the set of responders *covers a current ``Sigma`` sample*,
+which is exactly how the quorum detector abstracts "enough processes
+answered".
+
+Both operations are two-phase:
+
+* ``read``: query phase collects (timestamp, value) pairs from a quorum,
+  then a write-back phase propagates the freshest pair to a quorum
+  (ensuring reads are linearizable);
+* ``write``: query phase learns the highest timestamp, then the update
+  phase installs ``(ts+1, pid)`` at a quorum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.model.messages import Datagram
+from repro.model.processes import ProcessId, ProcessSet
+from repro.sim.kernel import Automaton, Context
+
+#: A logical timestamp: (counter, writer index) — totally ordered.
+Timestamp = Tuple[int, int]
+
+ZERO: Timestamp = (0, 0)
+
+
+@dataclass
+class _PendingOp:
+    """One in-flight read or write at its invoking process."""
+
+    op_id: int
+    kind: str  # "read" | "write"
+    value: Any = None
+    phase: str = "query"  # "query" -> "update"
+    responders: Set[ProcessId] = field(default_factory=set)
+    best_ts: Timestamp = ZERO
+    best_value: Any = None
+
+
+class RegisterAutomaton(Automaton):
+    """Per-process code of the ABD register.
+
+    Every process is simultaneously a client (its ``invoke_*`` methods
+    enqueue operations) and a replica (it answers QUERY/UPDATE messages).
+    """
+
+    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+        self.pid = pid
+        self.scope = sorted(scope)
+        self.stored_ts: Timestamp = ZERO
+        self.stored_value: Any = None
+        self._ops: Dict[int, _PendingOp] = {}
+        self._op_counter = itertools.count(1)
+        self.completed: List[Tuple[int, str, Any]] = []
+
+    # -- Client interface ---------------------------------------------------------
+
+    def invoke_read(self) -> int:
+        op = _PendingOp(op_id=next(self._op_counter), kind="read")
+        self._ops[op.op_id] = op
+        return op.op_id
+
+    def invoke_write(self, value: Any) -> int:
+        op = _PendingOp(
+            op_id=next(self._op_counter), kind="write", value=value
+        )
+        self._ops[op.op_id] = op
+        return op.op_id
+
+    def result_of(self, op_id: int) -> Optional[Tuple[str, Any]]:
+        for done_id, kind, value in self.completed:
+            if done_id == op_id:
+                return (kind, value)
+        return None
+
+    # -- Replica + client steps -----------------------------------------------------
+
+    def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        if datagram is not None:
+            self._handle(ctx, datagram)
+        self._progress(ctx)
+
+    def _handle(self, ctx: Context, datagram: Datagram) -> None:
+        tag, body = datagram.tag, datagram.body
+        if tag == "ABD_QUERY":
+            (op_key,) = body
+            ctx.send(
+                datagram.src,
+                "ABD_QUERY_ACK",
+                op_key,
+                self.stored_ts,
+                self.stored_value,
+            )
+        elif tag == "ABD_UPDATE":
+            op_key, ts, value = body
+            if ts > self.stored_ts:
+                self.stored_ts = ts
+                self.stored_value = value
+            ctx.send(datagram.src, "ABD_UPDATE_ACK", op_key)
+        elif tag == "ABD_QUERY_ACK":
+            op_key, ts, value = body
+            op = self._ops.get(op_key)
+            if op is not None and op.phase == "query":
+                op.responders.add(datagram.src)
+                if ts > op.best_ts:
+                    op.best_ts = ts
+                    op.best_value = value
+        elif tag == "ABD_UPDATE_ACK":
+            (op_key,) = body
+            op = self._ops.get(op_key)
+            if op is not None and op.phase == "update":
+                op.responders.add(datagram.src)
+
+    def _progress(self, ctx: Context) -> None:
+        quorum = ctx.detector
+        if quorum is None:
+            return
+        for op in list(self._ops.values()):
+            if op.phase == "query" and not op.responders:
+                ctx.broadcast(self.scope, "ABD_QUERY", op.op_id)
+                op.responders = set()
+            if op.phase == "query" and set(quorum) <= op.responders:
+                # Quorum covered: move to the update phase.
+                op.phase = "update"
+                op.responders = set()
+                if op.kind == "write":
+                    ts = (op.best_ts[0] + 1, self.pid.index)
+                    payload = op.value
+                else:
+                    ts = op.best_ts
+                    payload = op.best_value
+                op.best_ts = ts
+                op.best_value = payload
+                ctx.broadcast(self.scope, "ABD_UPDATE", op.op_id, ts, payload)
+            elif op.phase == "update" and set(quorum) <= op.responders:
+                result = op.best_value if op.kind == "read" else op.value
+                self.completed.append((op.op_id, op.kind, result))
+                ctx.output(("abd", op.kind, op.op_id, result))
+                del self._ops[op.op_id]
+
+    # Retransmission on null steps keeps phases live under any fair
+    # schedule: a query that lost its broadcast re-issues it.
+    def on_start(self, ctx: Context) -> None:  # pragma: no cover - trivial
+        pass

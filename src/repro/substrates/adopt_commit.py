@@ -1,0 +1,101 @@
+"""Message-passing adopt–commit from ``Sigma`` ([20], §4.3).
+
+The universal construction of §4.3 guards every consensus instance of
+``LOG_{g∩h}`` with an adopt–commit object implemented from
+``Sigma_{g∩h}`` so that contention-free executions never invoke the
+(full-group) consensus.  This is the classic two-round construction:
+
+* round 1: announce your value to the scope, collect a quorum of echoes;
+  if all echoes carry your value, you *lock* it;
+* round 2: announce ``(value, locked?)``, collect a quorum; commit when
+  every response saw a lock on the same value, else adopt any locked
+  value seen (or the first value otherwise).
+
+Safety: two quorums intersect (``Sigma``), so if anyone commits ``v``,
+every round-2 quorum contains a lock on ``v`` and everyone adopts ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.model.messages import Datagram
+from repro.model.processes import ProcessId, ProcessSet
+from repro.sim.kernel import Automaton, Context
+
+
+class AdoptCommitAutomaton(Automaton):
+    """Per-process code of the two-round adopt–commit object."""
+
+    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+        self.pid = pid
+        self.scope = sorted(scope)
+        self.proposal: Any = None
+        self.outcome: Optional[Tuple[bool, Any]] = None
+        self._phase: Optional[str] = None
+        self._round1: Dict[ProcessId, Any] = {}
+        self._round2: Dict[ProcessId, Tuple[Any, bool]] = {}
+        self._locked: bool = False
+        self._seen_first: Any = None
+        # Replica state: echoed values per round.
+        self._echo1: Any = None
+        self._echo2: Optional[Tuple[Any, bool]] = None
+
+    def propose(self, value: Any) -> None:
+        if self.proposal is None:
+            self.proposal = value
+
+    def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        if datagram is not None:
+            self._handle(ctx, datagram)
+        self._progress(ctx)
+
+    def _handle(self, ctx: Context, datagram: Datagram) -> None:
+        tag, body = datagram.tag, datagram.body
+        if tag == "AC1":
+            (value,) = body
+            if self._echo1 is None:
+                self._echo1 = value
+            ctx.send(datagram.src, "AC1_ACK", self._echo1)
+        elif tag == "AC1_ACK":
+            (value,) = body
+            if self._phase == "round1":
+                self._round1[datagram.src] = value
+        elif tag == "AC2":
+            value, locked = body
+            if self._echo2 is None or (locked and not self._echo2[1]):
+                self._echo2 = (value, locked)
+            ctx.send(datagram.src, "AC2_ACK", *self._echo2)
+        elif tag == "AC2_ACK":
+            value, locked = body
+            if self._phase == "round2":
+                self._round2[datagram.src] = (value, locked)
+
+    def _progress(self, ctx: Context) -> None:
+        quorum = ctx.detector
+        if quorum is None or self.outcome is not None or self.proposal is None:
+            return
+        if self._phase is None:
+            self._phase = "round1"
+            ctx.broadcast(self.scope, "AC1", self.proposal)
+        elif self._phase == "round1" and set(quorum) <= set(self._round1):
+            values = set(self._round1.values())
+            self._locked = values == {self.proposal}
+            self._seen_first = sorted(
+                self._round1.values(), key=repr
+            )[0]
+            self._phase = "round2"
+            ctx.broadcast(self.scope, "AC2", self.proposal, self._locked)
+        elif self._phase == "round2" and set(quorum) <= set(self._round2):
+            responses = list(self._round2.values())
+            locked_values = {v for v, locked in responses if locked}
+            if locked_values and all(locked for _, locked in responses):
+                value = sorted(locked_values, key=repr)[0]
+                self.outcome = (True, value)  # commit
+            elif locked_values:
+                value = sorted(locked_values, key=repr)[0]
+                self.outcome = (False, value)  # adopt the locked value
+            else:
+                self.outcome = (False, self._seen_first)
+            ctx.output(("adopt-commit",) + self.outcome)
+            self._phase = "done"

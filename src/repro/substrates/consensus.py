@@ -1,0 +1,214 @@
+"""Leader-driven consensus from ``Omega ∧ Sigma`` (§4, §4.3).
+
+The paper solves consensus in each destination group from
+``Sigma_g ∧ Omega_g`` ("construct an obstruction-free consensus and boost
+it with Omega" [25]).  This module is the standard message-passing
+realization of that recipe — a single-decree, ballot-based protocol à la
+Paxos whose quorums are ``Sigma`` samples and whose proposer activity is
+gated by ``Omega``:
+
+* only the current ``Omega`` leader runs ballots (the boost: eventually a
+  single correct proposer runs unopposed, guaranteeing termination);
+* a ballot has a *prepare* phase (learn the highest accepted value from a
+  quorum) and an *accept* phase (install the value at a quorum); safety
+  follows from quorum intersection, exactly as in Paxos.
+
+The detector handed to each process must provide samples shaped as
+``{"omega": leader, "sigma": quorum}`` — see :class:`OmegaSigmaSampler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.detectors.base import FailureDetector
+from repro.detectors.leader import OmegaOracle
+from repro.detectors.quorum import SigmaOracle
+from repro.model.failures import FailurePattern, Time
+from repro.model.messages import Datagram
+from repro.model.processes import ProcessId, ProcessSet
+from repro.sim.kernel import Automaton, Context
+
+#: A ballot number: (round counter, proposer index) — totally ordered.
+Ballot = Tuple[int, int]
+
+NO_BALLOT: Ballot = (0, 0)
+
+
+class OmegaSigmaSampler(FailureDetector):
+    """Bundles ``Omega_P`` and ``Sigma_P`` samples for the consensus code."""
+
+    kind = "OmegaSigma"
+
+    def __init__(self, pattern: FailurePattern, scope: ProcessSet, **kwargs) -> None:
+        super().__init__()
+        restricted = pattern.restricted_to(scope)
+        self.omega = OmegaOracle(restricted, scope, **kwargs)
+        self.sigma = SigmaOracle(restricted, scope)
+
+    def query(self, p: ProcessId, t: Time) -> Dict[str, Any]:
+        return {
+            "omega": self.omega.query(p, t),
+            "sigma": self.sigma.query(p, t),
+        }
+
+
+class ConsensusAutomaton(Automaton):
+    """Per-process code of the leader-driven consensus."""
+
+    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+        self.pid = pid
+        self.scope = sorted(scope)
+        self.proposal: Any = None
+        self.decision: Any = None
+        # Acceptor state.
+        self.promised: Ballot = NO_BALLOT
+        self.accepted_ballot: Ballot = NO_BALLOT
+        self.accepted_value: Any = None
+        # Proposer state.
+        self._ballot: Ballot = NO_BALLOT
+        self._phase: Optional[str] = None
+        self._promises: Dict[ProcessId, Tuple[Ballot, Any]] = {}
+        self._accepts: Set[ProcessId] = set()
+        self._value_in_flight: Any = None
+        self._next_forward: int = 0
+
+    def propose(self, value: Any) -> None:
+        """Client call: submit a proposal (before or during the run)."""
+        if self.proposal is None:
+            self.proposal = value
+
+    # -- Steps -----------------------------------------------------------------
+
+    def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        if datagram is not None:
+            self._handle(ctx, datagram)
+        self._progress(ctx)
+
+    def _handle(self, ctx: Context, datagram: Datagram) -> None:
+        tag, body = datagram.tag, datagram.body
+        if tag == "PREPARE":
+            (ballot,) = body
+            if ballot > self.promised:
+                self.promised = ballot
+            ctx.send(
+                datagram.src,
+                "PROMISE",
+                ballot,
+                self.promised,
+                self.accepted_ballot,
+                self.accepted_value,
+            )
+        elif tag == "PROMISE":
+            ballot, promised, acc_ballot, acc_value = body
+            if ballot == self._ballot and self._phase == "prepare":
+                if promised <= ballot:
+                    self._promises[datagram.src] = (acc_ballot, acc_value)
+        elif tag == "ACCEPT":
+            ballot, value = body
+            if ballot >= self.promised:
+                self.promised = ballot
+                self.accepted_ballot = ballot
+                self.accepted_value = value
+                ctx.send(datagram.src, "ACCEPTED", ballot)
+            else:
+                ctx.send(datagram.src, "NACK", ballot)
+        elif tag == "ACCEPTED":
+            (ballot,) = body
+            if ballot == self._ballot and self._phase == "accept":
+                self._accepts.add(datagram.src)
+        elif tag == "NACK":
+            (ballot,) = body
+            if ballot == self._ballot:
+                self._phase = None  # retry with a higher ballot later
+        elif tag == "FORWARD":
+            # A non-leader relays its proposal: the leader adopts it when
+            # it has none of its own (validity is preserved — the value
+            # was proposed by some process).
+            (value,) = body
+            if self.proposal is None:
+                self.proposal = value
+        elif tag == "DECIDE":
+            (value,) = body
+            if self.decision is None:
+                self.decision = value
+                ctx.output(("decide", value))
+                ctx.broadcast(self.scope, "DECIDE", value)
+
+    def _progress(self, ctx: Context) -> None:
+        sample = ctx.detector or {}
+        leader = sample.get("omega")
+        quorum = sample.get("sigma", ())
+        if self.decision is not None or self.proposal is None:
+            return
+        if leader != self.pid:
+            self._phase = None  # demoted: stop running ballots
+            # Relay the proposal to the leader, throttled so the relay
+            # traffic cannot starve the leader's inbox.
+            if leader is not None and ctx.time >= self._next_forward:
+                self._next_forward = ctx.time + 8
+                ctx.send(leader, "FORWARD", self.proposal)
+            return
+        if self._phase is None:
+            # Start a fresh, higher ballot.
+            self._ballot = (self._ballot[0] + 1, self.pid.index)
+            self._phase = "prepare"
+            self._promises = {}
+            ctx.broadcast(self.scope, "PREPARE", self._ballot)
+        elif self._phase == "prepare" and set(quorum) <= set(self._promises):
+            # Adopt the value of the highest accepted ballot, if any.
+            best: Tuple[Ballot, Any] = (NO_BALLOT, None)
+            for acc in self._promises.values():
+                if acc[0] > best[0]:
+                    best = acc
+            self._value_in_flight = (
+                best[1] if best[0] > NO_BALLOT else self.proposal
+            )
+            self._phase = "accept"
+            self._accepts = set()
+            ctx.broadcast(
+                self.scope, "ACCEPT", self._ballot, self._value_in_flight
+            )
+        elif self._phase == "accept" and set(quorum) <= self._accepts:
+            if self.decision is None:
+                self.decision = self._value_in_flight
+                ctx.output(("decide", self._value_in_flight))
+            ctx.broadcast(self.scope, "DECIDE", self._value_in_flight)
+            self._phase = "done"
+
+
+class ConsensusCluster:
+    """Convenience wrapper: one consensus instance over a process set.
+
+    Builds the automata and the ``Omega ∧ Sigma`` samplers, exposes
+    ``propose`` / ``decided`` and runs on a caller-provided kernel.
+    """
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        scope: ProcessSet,
+        omega_stabilization: Optional[Time] = None,
+    ) -> None:
+        self.scope = scope
+        self.automata: Dict[ProcessId, ConsensusAutomaton] = {
+            p: ConsensusAutomaton(p, scope) for p in sorted(scope)
+        }
+        kwargs = {}
+        if omega_stabilization is not None:
+            kwargs["stabilization_time"] = omega_stabilization
+        self.detectors: Dict[ProcessId, OmegaSigmaSampler] = {
+            p: OmegaSigmaSampler(pattern, scope, **kwargs)
+            for p in sorted(scope)
+        }
+
+    def propose(self, p: ProcessId, value: Any) -> None:
+        self.automata[p].propose(value)
+
+    def decision_at(self, p: ProcessId) -> Any:
+        return self.automata[p].decision
+
+    def decided_everywhere(self, alive: ProcessSet) -> bool:
+        return all(
+            self.automata[p].decision is not None for p in alive
+        )

@@ -1,0 +1,138 @@
+"""A replicated log via a sequence of consensus instances (§4.3).
+
+The group logs ``LOG_g`` of Algorithm 1 are "built atop consensus in ``g``
+using a universal construction [28]".  This module is that construction
+at the message-passing level: an unbounded list of consensus slots, each
+decided by a :class:`repro.substrates.consensus.ConsensusAutomaton`
+instance over the carrier scope.  A replica applies decided slots in
+order, yielding identical log prefixes at every member (state-machine
+replication).
+
+The contention-free fast path of Proposition 47 (adopt–commit before
+consensus) is exercised separately in
+:mod:`repro.substrates.adopt_commit`; here every slot runs the full
+consensus, which is the slow-path cost the fast path avoids.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.model.failures import FailurePattern, Time
+from repro.model.messages import Datagram
+from repro.model.processes import ProcessId, ProcessSet
+from repro.sim.kernel import Automaton, Context
+from repro.substrates.consensus import ConsensusAutomaton, OmegaSigmaSampler
+
+
+class ReplicatedLogAutomaton(Automaton):
+    """Per-process code: a pipeline of consensus slots.
+
+    Each slot multiplexes a full :class:`ConsensusAutomaton` over tagged
+    datagrams (``slot`` is prepended to every message body).
+    """
+
+    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+        self.pid = pid
+        self.scope = sorted(scope)
+        self._slots: Dict[int, ConsensusAutomaton] = {}
+        self._pending: List[Any] = []
+        self.applied: List[Any] = []
+        self._next_slot = 0
+
+    def append(self, value: Any) -> None:
+        """Client call: replicate ``value`` (at-least-once per slot)."""
+        self._pending.append(value)
+
+    def _slot(self, index: int) -> ConsensusAutomaton:
+        automaton = self._slots.get(index)
+        if automaton is None:
+            automaton = ConsensusAutomaton(self.pid, frozenset(self.scope))
+            self._slots[index] = automaton
+        return automaton
+
+    def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        if datagram is not None:
+            slot_index = datagram.body[0]
+            inner = Datagram(
+                src=datagram.src,
+                dst=datagram.dst,
+                tag=datagram.tag,
+                body=datagram.body[1:],
+                uid=datagram.uid,
+            )
+            self._slot(slot_index)._handle(
+                _SlotContext(ctx, slot_index), inner
+            )
+        # Drive the current head slot: propose the head pending value, and
+        # keep progressing the slot while it is undecided — a leader with
+        # nothing to append still runs ballots for forwarded proposals.
+        head = self._slots.get(self._next_slot)
+        if self._pending:
+            head = self._slot(self._next_slot)
+            head.propose(self._pending[0])
+        if head is not None and head.decision is None:
+            head._progress(_SlotContext(ctx, self._next_slot))
+        # Apply decided slots in order.
+        while True:
+            head = self._slots.get(self._next_slot)
+            if head is None or head.decision is None:
+                break
+            decided = head.decision
+            self.applied.append(decided)
+            ctx.output(("applied", self._next_slot, decided))
+            if self._pending and self._pending[0] == decided:
+                self._pending.pop(0)
+            elif decided in self._pending:
+                self._pending.remove(decided)
+            self._next_slot += 1
+
+
+class _SlotContext:
+    """A context view that prefixes every message with its slot index."""
+
+    def __init__(self, ctx: Context, slot: int) -> None:
+        self._ctx = ctx
+        self._slot = slot
+        self.pid = ctx.pid
+        self.time = ctx.time
+        self.detector = ctx.detector
+
+    def send(self, dst: ProcessId, tag: str, *body: Any) -> None:
+        self._ctx.send(dst, tag, self._slot, *body)
+
+    def broadcast(self, dsts, tag: str, *body: Any) -> None:
+        for dst in dsts:
+            self.send(dst, tag, *body)
+
+    def output(self, value: Any) -> None:
+        self._ctx.output((self._slot, value))
+
+
+class ReplicatedLogCluster:
+    """One replicated log over a scope, with its detector samplers."""
+
+    def __init__(
+        self,
+        pattern: FailurePattern,
+        scope: ProcessSet,
+        omega_stabilization: Optional[Time] = None,
+    ) -> None:
+        self.scope = scope
+        self.automata: Dict[ProcessId, ReplicatedLogAutomaton] = {
+            p: ReplicatedLogAutomaton(p, scope) for p in sorted(scope)
+        }
+        kwargs = {}
+        if omega_stabilization is not None:
+            kwargs["stabilization_time"] = omega_stabilization
+        self.detectors: Dict[ProcessId, OmegaSigmaSampler] = {
+            p: OmegaSigmaSampler(pattern, scope, **kwargs)
+            for p in sorted(scope)
+        }
+
+    def append(self, p: ProcessId, value: Any) -> None:
+        self.automata[p].append(value)
+
+    def applied_at(self, p: ProcessId) -> Tuple[Any, ...]:
+        return tuple(self.automata[p].applied)

@@ -1,0 +1,22 @@
+"""Workload generation: topologies, send scripts and the scenario runner."""
+
+from repro.workloads.runner import ScenarioResult, Send, random_sends, run_scenario
+from repro.workloads.topologies import (
+    chain_topology,
+    disjoint_topology,
+    hub_topology,
+    random_topology,
+    ring_topology,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "Send",
+    "random_sends",
+    "run_scenario",
+    "chain_topology",
+    "disjoint_topology",
+    "hub_topology",
+    "random_topology",
+    "ring_topology",
+]

@@ -1,0 +1,98 @@
+"""Destination-group topology generators.
+
+These produce the families of topologies used across tests and
+benchmarks:
+
+* rings — the canonical cyclic families (γ is load-bearing);
+* chains — intersecting but acyclic (``F = ∅``, §6.2's easy case);
+* disjoint groups — the embarrassingly parallel case of §2.3;
+* hub cliques — every group shares one process (many cyclic families);
+* random overlapping topologies, seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.groups.topology import GroupTopology, topology_from_indices
+
+
+def ring_topology(k: int) -> GroupTopology:
+    """``k`` groups in a ring: ``g_i = {p_i, p_{i+1 mod k}}``.
+
+    The whole topology is one cyclic family; breaking any single process
+    kills it.  Requires ``k >= 3``.
+    """
+    if k < 3:
+        raise ValueError("a ring needs at least 3 groups")
+    groups = {f"g{i}": [i, (i % k) + 1] for i in range(1, k + 1)}
+    return topology_from_indices(k, groups)
+
+
+def chain_topology(k: int, group_size: int = 2) -> GroupTopology:
+    """``k`` groups in a line: ``g_i`` and ``g_{i+1}`` share one process.
+
+    The intersection graph is a path: intersecting yet hamiltonian-free
+    (``F = ∅``).
+    """
+    if k < 2:
+        raise ValueError("a chain needs at least 2 groups")
+    stride = group_size - 1
+    groups: Dict[str, List[int]] = {}
+    for i in range(k):
+        start = 1 + i * stride
+        groups[f"g{i + 1}"] = list(range(start, start + group_size))
+    process_count = 1 + k * stride
+    return topology_from_indices(process_count, groups)
+
+
+def disjoint_topology(k: int, group_size: int = 3) -> GroupTopology:
+    """``k`` pairwise-disjoint groups of ``group_size`` processes."""
+    if k < 1:
+        raise ValueError("need at least one group")
+    groups = {
+        f"g{i + 1}": list(range(1 + i * group_size, 1 + (i + 1) * group_size))
+        for i in range(k)
+    }
+    return topology_from_indices(k * group_size, groups)
+
+
+def hub_topology(k: int, spoke_size: int = 2) -> GroupTopology:
+    """``k`` groups all sharing process ``p1`` (a clique intersection
+    graph): every subset of >= 3 groups is a cyclic family."""
+    if k < 2:
+        raise ValueError("a hub needs at least 2 groups")
+    groups: Dict[str, List[int]] = {}
+    next_proc = 2
+    for i in range(1, k + 1):
+        spokes = list(range(next_proc, next_proc + spoke_size - 1))
+        groups[f"g{i}"] = [1] + spokes
+        next_proc += spoke_size - 1
+    return topology_from_indices(next_proc - 1, groups)
+
+
+def random_topology(
+    seed: int,
+    process_count: int = 8,
+    group_count: int = 4,
+    min_size: int = 2,
+    max_size: int = 4,
+) -> GroupTopology:
+    """A seeded random topology with possibly-overlapping groups.
+
+    Every process is guaranteed to appear in at least zero groups (some
+    may be idle — useful for the genuineness audit) and group memberships
+    are drawn without replacement per group.
+    """
+    rng = random.Random(seed)
+    groups: Dict[str, List[int]] = {}
+    attempts = 0
+    while len(groups) < group_count and attempts < 100 * group_count:
+        attempts += 1
+        size = rng.randint(min_size, min(max_size, process_count))
+        members = sorted(rng.sample(range(1, process_count + 1), size))
+        if members in list(groups.values()):
+            continue  # groups are a *set* of process sets
+        groups[f"g{len(groups) + 1}"] = members
+    return topology_from_indices(process_count, groups)

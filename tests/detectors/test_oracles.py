@@ -1,0 +1,207 @@
+"""Tests for oracle-backed failure detectors against their definitions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.detectors import (
+    BOTTOM,
+    GammaOracle,
+    IndicatorOracle,
+    OmegaOracle,
+    PerfectOracle,
+    Restricted,
+    SigmaOracle,
+    check_gamma,
+    check_indicator,
+    check_omega,
+    check_perfect,
+    check_sigma,
+    gamma_groups,
+)
+from repro.groups import paper_figure1_topology
+from repro.model import (
+    DetectorError,
+    by_indices,
+    crash_pattern,
+    failure_free,
+    make_processes,
+    pset,
+)
+
+PROCS = make_processes(5)
+ALL = pset(PROCS)
+P1, P2, P3, P4, P5 = PROCS
+
+
+def drive(detector, processes, times):
+    """Sample the detector at each process/time and return the history."""
+    for t in times:
+        for p in processes:
+            detector.sample(p, t)
+    return detector.history
+
+
+class TestSigmaOracle:
+    def test_scope_must_be_non_empty(self):
+        with pytest.raises(DetectorError):
+            SigmaOracle(failure_free(ALL), frozenset())
+
+    def test_quorums_always_intersect(self):
+        pattern = crash_pattern(ALL, {P1: 3, P2: 7})
+        sigma = SigmaOracle(pattern, ALL)
+        history = drive(sigma, PROCS, range(0, 12, 2))
+        assert check_sigma(history, pattern, ALL) == []
+
+    def test_eventual_quorums_are_correct(self):
+        pattern = crash_pattern(ALL, {P1: 2})
+        sigma = SigmaOracle(pattern, ALL)
+        late = sigma.query(P3, 100)
+        assert late <= pattern.correct
+
+    def test_fully_faulty_scope_pins_to_scope(self):
+        scope = by_indices(1, 2)
+        pattern = crash_pattern(ALL, {P1: 0, P2: 5})
+        sigma = SigmaOracle(pattern.restricted_to(scope), scope)
+        assert sigma.query(P1, 0) == scope
+        assert sigma.query(P1, 99) == scope
+        history = drive(sigma, [P1, P2], range(0, 10))
+        assert check_sigma(history, pattern, scope) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.dictionaries(
+            st.sampled_from(PROCS), st.integers(min_value=0, max_value=20),
+            max_size=4,
+        )
+    )
+    def test_property_histories_are_admissible(self, crashes):
+        pattern = crash_pattern(ALL, crashes)
+        sigma = SigmaOracle(pattern, ALL)
+        history = drive(sigma, PROCS, range(0, 30, 3))
+        assert check_sigma(history, pattern, ALL) == []
+
+
+class TestOmegaOracle:
+    def test_leadership_reached_after_stabilization(self):
+        pattern = crash_pattern(ALL, {P1: 4})
+        omega = OmegaOracle(pattern, ALL)
+        history = drive(omega, [p for p in PROCS if p != P1], range(0, 10))
+        assert check_omega(history, pattern, ALL) == []
+        assert omega.query(P2, 9) == P2  # smallest correct process
+
+    def test_pre_stabilization_output_may_be_faulty(self):
+        pattern = crash_pattern(ALL, {P1: 6})
+        omega = OmegaOracle(pattern, ALL, stabilization_time=6)
+        assert omega.query(P2, 0) == P1  # alive but doomed
+        assert omega.query(P2, 6) == P2
+
+    def test_fully_faulty_scope_is_vacuous(self):
+        scope = by_indices(1)
+        pattern = crash_pattern(ALL, {P1: 0})
+        omega = OmegaOracle(pattern.restricted_to(scope), scope)
+        assert omega.query(P1, 0) == P1
+        history = drive(omega, [P1], range(3))
+        assert check_omega(history, pattern, scope) == []
+
+    def test_singleton_scope_is_trivial(self):
+        # Omega_{p} always elects p (§3's example of restriction).
+        pattern = failure_free(ALL)
+        omega = OmegaOracle(pattern, by_indices(3))
+        assert omega.query(P3, 0) == P3
+
+
+class TestGammaOracle:
+    @pytest.fixture()
+    def fig1(self):
+        return paper_figure1_topology()
+
+    def test_initial_output_is_all_families_of_p1(self, fig1):
+        pattern = crash_pattern(ALL, {P2: 10, P3: 10})
+        gamma = GammaOracle(pattern, fig1)
+        assert gamma.query(P1, 0) == frozenset(fig1.cyclic_families())
+
+    def test_output_stabilizes_to_surviving_family(self, fig1):
+        """The §3 worked example: Correct={p1,p4,p5}; eventually gamma at
+        p1 returns only f' = {g1, g3, g4} and gamma(g1) = {g3, g4}."""
+        pattern = crash_pattern(ALL, {P2: 10, P3: 10})
+        gamma = GammaOracle(pattern, fig1)
+        late = gamma.query(P1, 10)
+        names = {frozenset(g.name for g in fam) for fam in late}
+        assert names == {frozenset({"g1", "g3", "g4"})}
+        partners = gamma_groups(late, fig1.group("g1"))
+        assert {g.name for g in partners} == {"g3", "g4"}
+
+    def test_process_outside_intersections_sees_nothing(self, fig1):
+        gamma = GammaOracle(failure_free(ALL), fig1)
+        assert gamma.query(P5, 0) == frozenset()
+
+    def test_detection_lag_delays_exclusion_but_stays_accurate(self, fig1):
+        pattern = crash_pattern(ALL, {P2: 5, P3: 5})
+        gamma = GammaOracle(pattern, fig1, detection_lag=4)
+        # At t=6 the family is faulty but not yet excluded: allowed.
+        f = frozenset(fig1.group(n) for n in ("g1", "g2", "g3"))
+        assert f in gamma.query(P1, 6)
+        assert f not in gamma.query(P1, 9)
+        history = drive(gamma, PROCS, range(0, 20, 2))
+        assert check_gamma(history, pattern, fig1) == []
+
+    def test_oracle_histories_pass_validation(self, fig1):
+        pattern = crash_pattern(ALL, {P2: 3})
+        gamma = GammaOracle(pattern, fig1)
+        history = drive(gamma, PROCS, range(0, 10))
+        assert check_gamma(history, pattern, fig1) == []
+
+
+class TestIndicatorOracle:
+    def test_raises_only_after_collective_death(self):
+        watched = by_indices(1, 2)
+        pattern = crash_pattern(ALL, {P1: 2, P2: 6})
+        ind = IndicatorOracle(pattern, watched)
+        assert not ind.query(P3, 5)
+        assert ind.query(P3, 6)
+        history = drive(ind, PROCS, range(0, 10))
+        assert check_indicator(history, pattern, watched) == []
+
+    def test_never_raises_when_a_member_is_correct(self):
+        watched = by_indices(1, 2)
+        pattern = crash_pattern(ALL, {P1: 0})
+        ind = IndicatorOracle(pattern, watched)
+        assert not ind.query(P3, 10**6)
+
+    def test_detection_lag(self):
+        watched = by_indices(4)
+        pattern = crash_pattern(ALL, {P4: 3})
+        ind = IndicatorOracle(pattern, watched, detection_lag=5)
+        assert not ind.query(P1, 7)
+        assert ind.query(P1, 8)
+
+
+class TestPerfectOracle:
+    def test_suspects_exactly_the_crashed(self):
+        pattern = crash_pattern(ALL, {P2: 4})
+        perfect = PerfectOracle(pattern)
+        assert perfect.query(P1, 3) == frozenset()
+        assert perfect.query(P1, 4) == {P2}
+        history = drive(perfect, PROCS, range(0, 8))
+        assert check_perfect(history, pattern) == []
+
+    def test_detection_lag_preserves_accuracy(self):
+        pattern = crash_pattern(ALL, {P2: 4})
+        perfect = PerfectOracle(pattern, detection_lag=3)
+        assert perfect.query(P1, 6) == frozenset()
+        assert perfect.query(P1, 7) == {P2}
+        history = drive(perfect, PROCS, range(0, 12))
+        assert check_perfect(history, pattern) == []
+
+
+class TestRestriction:
+    def test_bottom_outside_scope(self):
+        pattern = failure_free(ALL)
+        sigma = SigmaOracle(pattern, ALL)
+        restricted = Restricted(sigma, by_indices(1, 2))
+        assert restricted.query(P3, 0) is BOTTOM
+        assert restricted.query(P1, 0) is not BOTTOM
+
+    def test_scope_must_be_non_empty(self):
+        with pytest.raises(DetectorError):
+            Restricted(SigmaOracle(failure_free(ALL), ALL), frozenset())

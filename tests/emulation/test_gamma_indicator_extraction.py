@@ -1,0 +1,154 @@
+"""Tests for Algorithms 3 and 4: emulated gamma and 1^{g∩h}."""
+
+import pytest
+
+from repro.detectors import check_gamma, check_indicator
+from repro.emulation import GammaExtraction, IndicatorExtraction
+from repro.groups import paper_figure1_topology
+from repro.model import (
+    DetectorError,
+    by_indices,
+    crash_pattern,
+    failure_free,
+    make_processes,
+    pset,
+)
+from repro.workloads import chain_topology, ring_topology
+
+
+def drive_gamma(extraction, pattern, rounds):
+    history = []
+    for _ in range(rounds):
+        extraction.tick()
+        for p in sorted(pattern.processes):
+            if pattern.is_alive(p, extraction.time):
+                history.append(
+                    (p, extraction.time, extraction.query(p, extraction.time))
+                )
+    return history
+
+
+class TestGammaExtraction:
+    def test_failure_free_family_stays_output(self):
+        topo = ring_topology(3)
+        procs = make_processes(3)
+        pattern = failure_free(pset(procs))
+        ext = GammaExtraction(topo, pattern, seed=1)
+        history = drive_gamma(ext, pattern, rounds=30)
+        assert check_gamma(history, pattern, topo) == []
+        assert len(ext.query(procs[0], ext.time)) == 1
+
+    def test_ring_edge_death_excludes_the_family(self):
+        topo = ring_topology(3)
+        procs = make_processes(3)
+        pattern = crash_pattern(pset(procs), {procs[1]: 5})
+        ext = GammaExtraction(topo, pattern, seed=2)
+        history = drive_gamma(ext, pattern, rounds=60)
+        assert check_gamma(history, pattern, topo) == []
+        for p in (procs[0], procs[2]):
+            assert ext.query(p, ext.time) == frozenset()
+
+    def test_ring4_single_edge_death_detected_via_chain(self):
+        """In a 4-ring, killing one intersection leaves three live edges:
+        the chain must relay across them to reach the far observers."""
+        topo = ring_topology(4)
+        procs = make_processes(4)
+        pattern = crash_pattern(pset(procs), {procs[2]: 4})  # kills g2∩g3
+        ext = GammaExtraction(topo, pattern, seed=3)
+        history = drive_gamma(ext, pattern, rounds=90)
+        assert check_gamma(history, pattern, topo) == []
+        for p in pattern.correct:
+            if topo.families_of_process(p):
+                assert ext.query(p, ext.time) == frozenset()
+
+    def test_two_dead_edges_converse_chains(self):
+        """Two opposite intersections die: no single chain can complete,
+        so exclusion relies on the converse-direction rule."""
+        topo = ring_topology(4)
+        procs = make_processes(4)
+        pattern = crash_pattern(pset(procs), {procs[0]: 4, procs[2]: 4})
+        ext = GammaExtraction(topo, pattern, seed=4)
+        history = drive_gamma(ext, pattern, rounds=120)
+        assert check_gamma(history, pattern, topo) == []
+
+    def test_figure1_scenario(self):
+        """Correct = {p1, p4, p5}: eventually only f' remains at p1."""
+        topo = paper_figure1_topology()
+        procs = make_processes(5)
+        pattern = crash_pattern(pset(procs), {procs[1]: 6, procs[2]: 6})
+        ext = GammaExtraction(topo, pattern, seed=5)
+        history = drive_gamma(ext, pattern, rounds=150)
+        assert check_gamma(history, pattern, topo) == []
+        final = ext.query(procs[0], ext.time)
+        names = {frozenset(g.name for g in fam) for fam in final}
+        assert names == {frozenset({"g1", "g3", "g4"})}
+
+
+class TestIndicatorExtraction:
+    def test_requires_intersecting_groups(self):
+        from repro.groups import topology_from_indices
+
+        disjoint = topology_from_indices(4, {"a": [1, 2], "b": [3, 4]})
+        with pytest.raises(DetectorError):
+            IndicatorExtraction(
+                disjoint, failure_free(pset(make_processes(4))), "a", "b"
+            )
+
+    def test_never_raises_while_intersection_lives(self):
+        topo = chain_topology(2)
+        procs = make_processes(3)
+        pattern = failure_free(pset(procs))
+        ext = IndicatorExtraction(topo, pattern, "g1", "g2", seed=1)
+        ext.run(40)
+        history = [(p, ext.time, ext.query(p, ext.time)) for p in procs]
+        assert check_indicator(history, pattern, ext.watched) == []
+        assert not any(ext.query(p, ext.time) for p in procs)
+
+    def test_raises_after_intersection_death(self):
+        topo = chain_topology(2)
+        procs = make_processes(3)
+        pattern = crash_pattern(pset(procs), {procs[1]: 6})
+        ext = IndicatorExtraction(topo, pattern, "g1", "g2", seed=2)
+        history = []
+        for _ in range(80):
+            ext.tick()
+            for p in procs:
+                if pattern.is_alive(p, ext.time):
+                    history.append((p, ext.time, ext.query(p, ext.time)))
+        assert check_indicator(history, pattern, ext.watched) == []
+        assert ext.query(procs[0], ext.time)
+        assert ext.query(procs[2], ext.time)
+
+    def test_partial_intersection_death_is_not_reported(self):
+        """|g∩h| = 2: killing one member must not raise the indicator."""
+        from repro.groups import topology_from_indices
+
+        topo = topology_from_indices(4, {"g": [1, 2, 3], "h": [2, 3, 4]})
+        procs = make_processes(4)
+        pattern = crash_pattern(pset(procs), {procs[1]: 5})
+        ext = IndicatorExtraction(topo, pattern, "g", "h", seed=3)
+        history = []
+        for _ in range(80):
+            ext.tick()
+            for p in procs:
+                if pattern.is_alive(p, ext.time):
+                    history.append((p, ext.time, ext.query(p, ext.time)))
+        assert check_indicator(history, pattern, ext.watched) == []
+        assert not ext.query(procs[0], ext.time)
+
+    def test_full_wide_intersection_death_is_reported(self):
+        from repro.groups import topology_from_indices
+
+        topo = topology_from_indices(4, {"g": [1, 2, 3], "h": [2, 3, 4]})
+        procs = make_processes(4)
+        pattern = crash_pattern(pset(procs), {procs[1]: 5, procs[2]: 7})
+        ext = IndicatorExtraction(topo, pattern, "g", "h", seed=4)
+        history = []
+        for _ in range(100):
+            ext.tick()
+            for p in procs:
+                if pattern.is_alive(p, ext.time):
+                    history.append((p, ext.time, ext.query(p, ext.time)))
+        assert check_indicator(history, pattern, ext.watched) == []
+        assert ext.query(procs[0], ext.time)
+        assert ext.query(procs[3], ext.time)

@@ -1,0 +1,67 @@
+"""Tests for run metrics and the table formatter."""
+
+from repro.metrics import RunSummary, format_table, latency_of, steps_at, summarize
+from repro.model import (
+    MessageFactory,
+    RunRecord,
+    by_indices,
+    failure_free,
+    make_processes,
+    pset,
+)
+
+PROCS = make_processes(3)
+ALL = pset(PROCS)
+P1, P2, P3 = PROCS
+
+
+def sample_record():
+    record = RunRecord(ALL, failure_free(ALL))
+    factory = MessageFactory()
+    m1 = factory.multicast(P1, by_indices(1, 2))
+    record.note_multicast(1, P1, m1)
+    record.note_step(1, P1)
+    record.note_step(2, P2)
+    record.note_step(2, P3)  # P3 is outside every destination group
+    record.note_delivery(4, P1, m1)
+    record.note_delivery(6, P2, m1)
+    return record, m1
+
+
+def test_latency_is_multicast_to_last_delivery():
+    record, m1 = sample_record()
+    assert latency_of(record, m1) == 5
+
+
+def test_latency_none_for_undelivered():
+    record = RunRecord(ALL, failure_free(ALL))
+    factory = MessageFactory()
+    m = factory.multicast(P1, by_indices(1))
+    record.note_multicast(0, P1, m)
+    assert latency_of(record, m) is None
+
+
+def test_summary_aggregates():
+    record, _ = sample_record()
+    summary = summarize(record)
+    assert summary.total_steps == 3
+    assert summary.idle_steps == 1  # p3's step
+    assert summary.deliveries == 2
+    assert summary.max_latency == 5
+    assert summary.mean_latency == 5.0
+
+
+def test_steps_at_subsets():
+    record, _ = sample_record()
+    assert steps_at(record, [P1, P2]) == 2
+    assert steps_at(record, []) == 0
+
+
+def test_format_table_alignment():
+    table = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)])
+    lines = table.splitlines()
+    assert lines[0].startswith("a ")
+    assert "2.50" in table
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # every row padded to the same width

@@ -1,0 +1,106 @@
+"""Tests for multicast messages, datagrams and the message buffer."""
+
+import pytest
+
+from repro.model import (
+    MessageBuffer,
+    MessageFactory,
+    ModelError,
+    MulticastMessage,
+    MessageId,
+    by_indices,
+    make_processes,
+)
+
+P1, P2, P3 = make_processes(3)
+
+
+class TestMulticastMessage:
+    def test_factory_mints_unique_ids(self):
+        factory = MessageFactory()
+        m1 = factory.multicast(P1, by_indices(1, 2))
+        m2 = factory.multicast(P1, by_indices(1, 2))
+        m3 = factory.multicast(P2, by_indices(2, 3))
+        assert len({m1.mid, m2.mid, m3.mid}) == 3
+
+    def test_closed_dissemination_model_enforced(self):
+        factory = MessageFactory()
+        with pytest.raises(ModelError):
+            factory.multicast(P1, by_indices(2, 3))
+
+    def test_message_id_provides_a_priori_total_order(self):
+        factory = MessageFactory()
+        m1 = factory.multicast(P1, by_indices(1, 2))
+        m2 = factory.multicast(P2, by_indices(2, 3))
+        assert (m1 < m2) != (m2 < m1)
+
+    def test_message_id_must_match_sender(self):
+        with pytest.raises(ModelError):
+            MulticastMessage(
+                mid=MessageId(sender_index=2, sequence=1),
+                src=P1,
+                dst=by_indices(1, 2),
+            )
+
+    def test_payload_is_carried(self):
+        factory = MessageFactory()
+        m = factory.multicast(P1, by_indices(1), payload={"op": "put"})
+        assert m.payload == {"op": "put"}
+
+
+class TestMessageBuffer:
+    def test_send_then_receive_fifo(self):
+        buff = MessageBuffer()
+        buff.send(P1, P2, "A", (1,))
+        buff.send(P1, P2, "B", (2,))
+        first = buff.receive(P2)
+        second = buff.receive(P2)
+        assert (first.tag, second.tag) == ("A", "B")
+
+    def test_receive_returns_null_when_empty(self):
+        buff = MessageBuffer()
+        assert buff.receive(P1) is None
+
+    def test_broadcast_reaches_every_destination(self):
+        buff = MessageBuffer()
+        buff.broadcast(P1, [P2, P3], "HELLO")
+        assert buff.receive(P2).tag == "HELLO"
+        assert buff.receive(P3).tag == "HELLO"
+
+    def test_pending_snapshot_does_not_consume(self):
+        buff = MessageBuffer()
+        buff.send(P1, P2, "X")
+        assert len(buff.pending_for(P2)) == 1
+        assert len(buff.pending_for(P2)) == 1
+        assert buff.has_pending(P2)
+
+    def test_receive_specific_removes_chosen_datagram(self):
+        buff = MessageBuffer()
+        buff.send(P1, P2, "A")
+        wanted = buff.send(P1, P2, "B")
+        got = buff.receive_specific(P2, wanted)
+        assert got.tag == "B"
+        assert buff.receive(P2).tag == "A"
+
+    def test_receive_specific_rejects_absent_datagram(self):
+        buff = MessageBuffer()
+        ghost = buff.send(P1, P2, "A")
+        buff.receive(P2)
+        with pytest.raises(ModelError):
+            buff.receive_specific(P2, ghost)
+
+    def test_drop_all_for_crashed_process(self):
+        buff = MessageBuffer()
+        buff.send(P1, P2, "A")
+        buff.send(P3, P2, "B")
+        assert buff.drop_all_for(P2) == 2
+        assert buff.receive(P2) is None
+
+    def test_counters_track_traffic(self):
+        buff = MessageBuffer()
+        buff.send(P1, P2, "A")
+        buff.send(P1, P3, "B")
+        buff.receive(P2)
+        assert buff.sent_count == 2
+        assert buff.received_count == 1
+        assert buff.in_transit() == 1

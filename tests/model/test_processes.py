@@ -1,0 +1,37 @@
+"""Tests for process identifiers."""
+
+import pytest
+
+from repro.model import ProcessId, by_indices, make_processes
+
+
+def test_make_processes_names_follow_paper_convention():
+    procs = make_processes(3)
+    assert [p.name for p in procs] == ["p1", "p2", "p3"]
+
+
+def test_processes_are_totally_ordered():
+    procs = make_processes(5)
+    assert sorted([procs[3], procs[0], procs[2]]) == [procs[0], procs[2], procs[3]]
+
+
+def test_process_index_must_be_positive():
+    with pytest.raises(ValueError):
+        ProcessId(0)
+    with pytest.raises(ValueError):
+        ProcessId(-2)
+
+
+def test_make_processes_rejects_empty_system():
+    with pytest.raises(ValueError):
+        make_processes(0)
+
+
+def test_by_indices_builds_sets():
+    assert by_indices(1, 3) == frozenset({ProcessId(1), ProcessId(3)})
+
+
+def test_process_identity_is_value_based():
+    assert ProcessId(2) == ProcessId(2)
+    assert hash(ProcessId(2)) == hash(ProcessId(2))
+    assert ProcessId(2) != ProcessId(3)

@@ -1,0 +1,74 @@
+"""Tests for run records."""
+
+from repro.model import (
+    MessageFactory,
+    RunRecord,
+    by_indices,
+    failure_free,
+    make_processes,
+    pset,
+)
+
+P1, P2, P3 = make_processes(3)
+ALL = pset((P1, P2, P3))
+
+
+def make_record():
+    return RunRecord(ALL, failure_free(ALL))
+
+
+def test_local_order_tracks_delivery_sequence():
+    factory = MessageFactory()
+    record = make_record()
+    m1 = factory.multicast(P1, by_indices(1, 2))
+    m2 = factory.multicast(P2, by_indices(1, 2))
+    record.note_delivery(3, P1, m1)
+    record.note_delivery(5, P1, m2)
+    record.note_delivery(4, P2, m2)
+    assert record.local_order(P1) == (m1, m2)
+    assert record.local_order(P2) == (m2,)
+    assert record.local_order(P3) == ()
+
+
+def test_delivery_and_multicast_times():
+    factory = MessageFactory()
+    record = make_record()
+    m = factory.multicast(P1, by_indices(1, 2))
+    record.note_multicast(1, P1, m)
+    record.note_delivery(7, P2, m)
+    record.note_delivery(9, P1, m)
+    assert record.multicast_time(m) == 1
+    assert record.delivery_time(P2, m) == 7
+    assert record.first_delivery_time(m) == 7
+    assert record.delivered_by(m) == by_indices(1, 2)
+
+
+def test_step_accounting():
+    record = make_record()
+    record.note_step(1, P1)
+    record.note_step(2, P1)
+    record.note_step(2, P3)
+    assert record.steps_of(P1) == 2
+    assert record.steps_of(P2) == 0
+    assert record.step_counts() == {P1: 2, P3: 1}
+
+
+def test_delivery_count_detects_duplicates():
+    factory = MessageFactory()
+    record = make_record()
+    m = factory.multicast(P1, by_indices(1))
+    record.note_delivery(1, P1, m)
+    record.note_delivery(2, P1, m)
+    assert record.delivery_count(P1, m) == 2
+
+
+def test_delivered_and_multicast_message_sets_deduplicate():
+    factory = MessageFactory()
+    record = make_record()
+    m = factory.multicast(P1, by_indices(1, 2))
+    record.note_multicast(0, P1, m)
+    record.note_multicast(0, P1, m)
+    record.note_delivery(1, P1, m)
+    record.note_delivery(2, P2, m)
+    assert record.multicast_messages() == (m,)
+    assert record.delivered_messages() == (m,)

@@ -1,0 +1,137 @@
+"""Tests for the object space: sharing, carriers and step accounting."""
+
+import pytest
+
+from repro.groups import paper_figure1_topology
+from repro.model import SpecificationError, make_processes
+from repro.objects import ObjectSpace
+
+PROCS = make_processes(5)
+P1, P2, P3, P4, P5 = PROCS
+
+
+class Ledger:
+    """Collects charges for assertions."""
+
+    def __init__(self):
+        self.charges = []
+
+    def __call__(self, process, reason):
+        self.charges.append((process, reason))
+
+    def charged(self):
+        return {p for p, _ in self.charges}
+
+
+@pytest.fixture()
+def fig1():
+    return paper_figure1_topology()
+
+
+def test_group_logs_are_shared_by_key(fig1):
+    space = ObjectSpace()
+    g1 = fig1.group("g1")
+    assert space.group_log(g1) is space.group_log(g1)
+
+
+def test_intersection_log_same_for_both_orders(fig1):
+    space = ObjectSpace()
+    g1, g3 = fig1.group("g1"), fig1.group("g3")
+    assert space.intersection_log(g1, g3) is space.intersection_log(g3, g1)
+
+
+def test_intersection_log_of_group_with_itself_is_group_log(fig1):
+    space = ObjectSpace()
+    g1 = fig1.group("g1")
+    assert space.intersection_log(g1, g1) is space.group_log(g1)
+
+
+def test_disjoint_intersection_log_rejected(fig1):
+    space = ObjectSpace()
+    with pytest.raises(SpecificationError):
+        space.intersection_log(fig1.group("g2"), fig1.group("g4"))
+
+
+def test_group_log_charges_group_members(fig1):
+    ledger = Ledger()
+    space = ObjectSpace(ledger)
+    g1 = fig1.group("g1")
+    space.group_log(g1).append(P1, "m")
+    assert ledger.charged() == {P1, P2}
+
+
+def test_fast_path_charges_only_intersection(fig1):
+    ledger = Ledger()
+    space = ObjectSpace(ledger)
+    g1, g3 = fig1.group("g1"), fig1.group("g3")
+    log = space.intersection_log(g1, g3)
+    log.append(P1, "m")
+    # g1 n g3 = {p1}: only p1 charged on the fast path.
+    assert ledger.charged() == {P1}
+    assert log.fast_ops == 1 and log.slow_ops == 0
+
+
+def test_same_order_by_both_processes_stays_fast(fig1):
+    ledger = Ledger()
+    space = ObjectSpace(ledger)
+    g3, g4 = fig1.group("g3"), fig1.group("g4")  # intersection {p1, p4}
+    log = space.intersection_log(g3, g4)
+    log.append(P1, "a")
+    log.append(P1, "b")
+    log.append(P4, "a")
+    log.append(P4, "b")
+    assert log.fast_ops == 4 and log.slow_ops == 0
+    assert ledger.charged() == {P1, P4}
+
+
+def test_out_of_order_ops_fall_back_to_host_group(fig1):
+    ledger = Ledger()
+    space = ObjectSpace(ledger)
+    g3, g4 = fig1.group("g3"), fig1.group("g4")
+    log = space.intersection_log(g3, g4)
+    log.append(P1, "a")
+    log.append(P1, "b")
+    log.append(P4, "b")  # contention: P4 sees "b" first
+    assert log.slow_ops == 1
+    # The slow path charges the host group (smaller name: g3 = {p1,p3,p4}).
+    assert ledger.charged() >= set(fig1.group("g3").members)
+
+
+def test_consensus_objects_keyed_by_message_and_family(fig1):
+    space = ObjectSpace()
+    g1 = fig1.group("g1")
+    a = space.consensus("m1", "famA", g1)
+    b = space.consensus("m1", "famA", g1)
+    c = space.consensus("m1", "famB", g1)
+    assert a is b
+    assert a is not c
+    assert space.consensus_objects_used() == 2
+
+
+def test_consensus_propose_charges_host_group(fig1):
+    ledger = Ledger()
+    space = ObjectSpace(ledger)
+    g3 = fig1.group("g3")
+    handle = space.consensus("m", "f", g3)
+    assert handle.propose(P1, 7) == 7
+    assert ledger.charged() == set(g3.members)
+    assert handle.decided
+
+
+def test_set_charge_rebinds_existing_handles(fig1):
+    space = ObjectSpace()
+    g1 = fig1.group("g1")
+    log = space.group_log(g1)
+    ledger = Ledger()
+    space.set_charge(ledger)
+    log.append(P1, "m")
+    assert ledger.charged() == {P1, P2}
+
+
+def test_stats_reporting(fig1):
+    space = ObjectSpace()
+    g1, g3 = fig1.group("g1"), fig1.group("g3")
+    log = space.intersection_log(g1, g3)
+    log.append(P1, "x")
+    stats = space.intersection_log_stats()
+    assert stats[log.name] == (1, 0)

@@ -1,0 +1,124 @@
+"""Tests for the step-level simulation kernel (Appendix A semantics)."""
+
+import pytest
+
+from repro.model import (
+    SimulationError,
+    crash_pattern,
+    failure_free,
+    make_processes,
+    pset,
+)
+from repro.sim import Automaton, Kernel
+
+PROCS = make_processes(3)
+ALL = pset(PROCS)
+
+
+class Echo(Automaton):
+    """Replies PONG to every PING; counts everything it sees."""
+
+    def __init__(self):
+        self.seen = []
+        self.started = False
+
+    def on_start(self, ctx):
+        self.started = True
+
+    def on_step(self, ctx, datagram):
+        if datagram is None:
+            return
+        self.seen.append(datagram.tag)
+        if datagram.tag == "PING":
+            ctx.send(datagram.src, "PONG")
+        ctx.output(datagram.tag)
+
+
+class Chatter(Automaton):
+    """Broadcasts PING once, then idles."""
+
+    def __init__(self, peers):
+        self.peers = peers
+        self.sent = False
+
+    def on_step(self, ctx, datagram):
+        if not self.sent:
+            self.sent = True
+            ctx.broadcast(self.peers, "PING")
+
+
+def build(pattern=None, seed=0):
+    pattern = pattern or failure_free(ALL)
+    automata = {
+        PROCS[0]: Chatter([PROCS[1], PROCS[2]]),
+        PROCS[1]: Echo(),
+        PROCS[2]: Echo(),
+    }
+    return automata, Kernel(pattern, automata, seed=seed)
+
+
+class TestStepSemantics:
+    def test_on_start_called_once(self):
+        automata, kernel = build()
+        kernel.round()
+        kernel.round()
+        assert automata[PROCS[1]].started
+
+    def test_messages_flow_and_replies_return(self):
+        automata, kernel = build()
+        kernel.run(6)
+        assert automata[PROCS[1]].seen == ["PING"]
+        assert automata[PROCS[2]].seen == ["PING"]
+        # The chatter got both PONGs (consumed silently).
+        assert kernel.buffer.in_transit() == 0
+
+    def test_outputs_are_recorded_with_time(self):
+        automata, kernel = build()
+        kernel.run(6)
+        assert kernel.outputs_of(PROCS[1]) == ("PING",)
+
+    def test_crashed_process_takes_no_step(self):
+        pattern = crash_pattern(ALL, {PROCS[1]: 1})
+        automata, kernel = build(pattern)
+        kernel.run(6)
+        assert kernel.steps_taken[PROCS[1]] == 0
+        with pytest.raises(SimulationError):
+            kernel.step_process(PROCS[1])
+
+    def test_pending_messages_of_crashed_processes_are_dropped(self):
+        pattern = crash_pattern(ALL, {PROCS[1]: 1})
+        automata, kernel = build(pattern)
+        kernel.run(6)
+        # The PING addressed to the dead p2 was dropped, not delivered.
+        assert automata[PROCS[1]].seen == []
+
+    def test_participation_restricts_stepping(self):
+        automata, kernel = build()
+        kernel.run(4, participation=pset({PROCS[0]}))
+        assert kernel.steps_taken[PROCS[0]] == 4
+        assert kernel.steps_taken[PROCS[1]] == 0
+
+    def test_round_fairness_schedules_every_alive_process(self):
+        automata, kernel = build()
+        stepped = kernel.round()
+        assert stepped == 3
+
+    def test_stop_when_predicate_halts_early(self):
+        automata, kernel = build()
+        rounds = kernel.run(
+            100, stop_when=lambda: bool(automata[PROCS[1]].seen)
+        )
+        assert rounds < 100
+
+    def test_total_messages_counter(self):
+        automata, kernel = build()
+        kernel.run(6)
+        assert kernel.total_messages() == 4  # 2 PINGs + 2 PONGs
+
+    def test_same_seed_is_deterministic(self):
+        def trace(seed):
+            automata, kernel = build(seed=seed)
+            kernel.run(6)
+            return kernel.outputs
+
+        assert str(trace(9)) == str(trace(9))
