@@ -28,27 +28,40 @@ from repro.props import assert_run_ok
 from repro.workloads import hub_topology
 
 ROWS = []
+SCAN_ROWS = []
 
 
 def teardown_module(module):
-    print("\n\nE4 - convoy effect: probe latency vs contending spokes:")
-    print(
-        format_table(
-            ("spoke groups", "contended latency", "idle latency", "gap"),
-            ROWS,
+    if ROWS:  # empty when only a subset of the module ran
+        print("\n\nE4 - convoy effect: probe latency vs contending spokes:")
+        print(
+            format_table(
+                ("spoke groups", "contended latency", "idle latency", "gap"),
+                ROWS,
+            )
         )
-    )
-    gaps = [row[3] for row in ROWS]
-    # Shape: the contention-induced gap grows with the number of
-    # neighbour groups the probe never addressed.
-    assert gaps[-1] > gaps[0]
-    assert all(gap > 0 for gap in gaps)
+        gaps = [row[3] for row in ROWS]
+        # Shape: the contention-induced gap grows with the number of
+        # neighbour groups the probe never addressed.
+        assert gaps[-1] > gaps[0]
+        assert all(gap > 0 for gap in gaps)
+    if SCAN_ROWS:
+        print("\nWake-index scheduling: processes scanned per mode:")
+        print(
+            format_table(
+                ("spoke groups", "eligible", "event scanned", "ratio"),
+                SCAN_ROWS,
+            )
+        )
 
 
-def probe_latency(k: int, contended: bool) -> int:
+def run_convoy(k: int, contended: bool, scheduling: str = "event"):
+    """Drive the convoy workload; return (latency rounds, system)."""
     topo = hub_topology(k)
     procs = make_processes(len(topo.processes))
-    system = MulticastSystem(topo, failure_free(pset(procs)), seed=31)
+    system = MulticastSystem(
+        topo, failure_free(pset(procs)), seed=31, scheduling=scheduling
+    )
     amc = AtomicMulticast(system)
     if contended:
         for i in range(2, k + 1):
@@ -66,6 +79,11 @@ def probe_latency(k: int, contended: bool) -> int:
     system.run()  # drain, then machine-check the whole run
     assert_run_ok(system.record)
     assert system.record.delivered_by(probe) == g1.members
+    return rounds, system
+
+
+def probe_latency(k: int, contended: bool) -> int:
+    rounds, _ = run_convoy(k, contended)
     return rounds
 
 
@@ -75,3 +93,34 @@ def test_probe_latency_under_contention(benchmark, k):
     idle = probe_latency(k, False)
     ROWS.append((k, contended, idle, contended - idle))
     assert contended > idle
+
+
+def test_wake_index_scan_ratio(trace_export):
+    """The event scheduler's headline win on the convoy workload.
+
+    Same seed, same rounds, byte-identical record — but the wake index
+    scans a fraction of the processes the seed scan engine visited.
+    """
+    for k in (4, 6):
+        latency_event, event = run_convoy(k, True, scheduling="event")
+        latency_scan, scan = run_convoy(k, True, scheduling="scan")
+        assert latency_event == latency_scan  # identical schedule
+        summary = event.tracer.summary()
+        baseline = scan.tracer.summary()
+        assert baseline["scanned"] == baseline["eligible"]
+        assert summary["eligible"] == baseline["eligible"]
+        SCAN_ROWS.append(
+            (
+                k,
+                summary["eligible"],
+                summary["scanned"],
+                summary["scan_ratio"],
+            )
+        )
+        trace_export(
+            event,
+            meta={"workload": "convoy", "k": k, "scheduling": "event"},
+            suffix=f"_k{k}",
+        )
+    # ISSUE acceptance: >= 2x fewer scans on the convoy workload.
+    assert SCAN_ROWS[-1][3] >= 2.0

@@ -5,11 +5,60 @@ Every benchmark in this directory regenerates one artifact of the paper
 asserts its qualitative *shape*.  Timing is measured with
 pytest-benchmark in pedantic mode (few rounds — these are system runs,
 not microbenchmarks).
+
+Pass ``--trace-dir=DIR`` to also dump one JSONL trace per traced benchmark
+into ``DIR`` (see :mod:`repro.metrics.trace` for the schema and
+EXPERIMENTS.md "Reading a trace" for how to interpret one).
 """
 
 from __future__ import annotations
 
+import os
+import re
+from typing import Optional
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-dir",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="directory to write per-benchmark JSONL traces into",
+    )
+
+
+@pytest.fixture
+def trace_dir(request) -> Optional[str]:
+    """The ``--trace-dir`` directory (created on demand), or None."""
+    directory = request.config.getoption("--trace-dir")
+    if directory is not None:
+        os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+@pytest.fixture
+def trace_export(request, trace_dir):
+    """Write a system's trace to ``<trace_dir>/<test-id>.jsonl``.
+
+    Usage: ``trace_export(system, meta={...})``.  A no-op (returning
+    None) when ``--trace-dir`` was not given, so benchmarks can call it
+    unconditionally.
+    """
+
+    def export(system, meta=None, suffix: str = "") -> Optional[str]:
+        if trace_dir is None:
+            return None
+        stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name + suffix)
+        path = os.path.join(trace_dir, f"{stem}.jsonl")
+        payload = {"benchmark": request.node.nodeid}
+        if meta:
+            payload.update(meta)
+        return system.tracer.write_jsonl(path, meta=payload)
+
+    return export
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -33,6 +33,14 @@ from repro.detectors.indicator import IndicatorOracle
 from repro.detectors.mu import Mu
 from repro.core.phases import COMMIT, DELIVER, PENDING, STABLE, START, Phase
 from repro.groups.topology import Group, GroupTopology
+from repro.metrics.trace import (
+    TraceRecorder,
+    WAIT_CONSENSUS,
+    WAIT_GAMMA,
+    WAIT_INDICATOR,
+    WAIT_ORDER,
+    WAIT_QUORUM,
+)
 from repro.model.errors import SimulationError
 from repro.model.messages import MessageId, MulticastMessage
 from repro.model.processes import ProcessId
@@ -66,6 +74,7 @@ class Algorithm1Process:
         on_deliver: DeliverFn,
         variant: str = "vanilla",
         indicators: Optional[Dict[FrozenSet[ProcessId], IndicatorOracle]] = None,
+        stats: Optional[TraceRecorder] = None,
     ) -> None:
         if variant not in VARIANTS:
             raise SimulationError(f"unknown variant {variant!r}")
@@ -90,6 +99,22 @@ class Algorithm1Process:
         self._to_multicast: Set[MessageId] = set()
         #: Per-destination-group consensus family, memoized (line 20).
         self._family_keys: Dict[Group, FrozenSet[str]] = {}
+        #: Instrumentation sink (detector-query counters); optional.
+        self.stats = stats
+        #: Why the last action scan ended blocked: a subset of the
+        #: ``WAIT_*`` reasons of :mod:`repro.metrics.trace`.  Empty after
+        #: a scan that fired actions, or when the process is simply idle.
+        #: The engine's wake-index and the trace exporter both read it.
+        self.wait_reasons: Set[str] = set()
+
+    # -- Wait-reason reporting -------------------------------------------------
+
+    def _waiting(self, reason: str) -> None:
+        self.wait_reasons.add(reason)
+
+    def is_idle(self) -> bool:
+        """Whether the last scan found nothing to do and nothing to wait on."""
+        return not self.wait_reasons and not self._to_multicast
 
     # -- Phase bookkeeping ---------------------------------------------------
 
@@ -157,6 +182,7 @@ class Algorithm1Process:
         interleaving for latency measurements); ``None`` = fire all.
         """
         self.discover()
+        self.wait_reasons = set()
         fired = 0
         for mid in sorted(self._to_multicast):
             message = self.known[mid]
@@ -173,6 +199,8 @@ class Algorithm1Process:
                 )
                 self._to_multicast.discard(mid)
                 fired += 1
+            else:
+                self._waiting(WAIT_QUORUM)
         for mid in sorted(self.known):
             if budget is not None and fired >= budget:
                 return fired
@@ -209,6 +237,7 @@ class Algorithm1Process:
         if m not in log_g:
             return False
         if not self._all_at_least(log_g.messages_before(m), COMMIT):
+            self._waiting(WAIT_ORDER)
             return False
         targets = [
             h
@@ -216,9 +245,11 @@ class Algorithm1Process:
             if h == g or g.intersects(h)
         ]
         if not log_g.mutation_available(self.pid):
+            self._waiting(WAIT_QUORUM)
             return False
         for h in targets:
             if not self._ilog(g, h).mutation_available(self.pid, "append", m):
+                self._waiting(WAIT_QUORUM)
                 return False  # wait for a quorum of the carrier
         for h in targets:
             position = self._ilog(g, h).append(self.pid, m)
@@ -230,6 +261,8 @@ class Algorithm1Process:
 
     def _gamma_partners(self, t: int, g: Group) -> Tuple[Group, ...]:
         """``gamma(g)`` as observed by this process now (§3)."""
+        if self.stats is not None:
+            self.stats.note_gamma_query()
         return self.mu.gamma_partners(self.pid, t, g)
 
     def _consensus_family(self, g: Group) -> FrozenSet[str]:
@@ -256,6 +289,7 @@ class Algorithm1Process:
         recorded_groups = {r[1] for r in records}
         for h in self._gamma_partners(t, g):
             if h.name not in recorded_groups:
+                self._waiting(WAIT_GAMMA)
                 return False  # line 18
         if not records:
             return False  # k undefined until some (m, h, i) exists
@@ -268,11 +302,13 @@ class Algorithm1Process:
             if h == g or g.intersects(h)
         ]
         if not cons.mutation_available(self.pid):
+            self._waiting(WAIT_CONSENSUS)
             return False
         for h in targets:
             if not self._ilog(g, h).mutation_available(
                 self.pid, "bumpAndLock", m, k
             ):
+                self._waiting(WAIT_QUORUM)
                 return False
         k = cons.propose(self.pid, k)  # line 21
         for h in targets:  # lines 22-23
@@ -304,8 +340,10 @@ class Algorithm1Process:
             if m not in ilog:
                 continue
             if not self._all_at_least(ilog.messages_before(m), STABLE):
+                self._waiting(WAIT_ORDER)
                 continue  # line 28
             if not log_g.mutation_available(self.pid):
+                self._waiting(WAIT_QUORUM)
                 continue
             log_g.append(self.pid, (m.mid, h.name))  # line 29
             self._stabilized.add((m.mid, h))
@@ -326,11 +364,15 @@ class Algorithm1Process:
                 if h.name in recorded:
                     continue
                 indicator = self.indicators.get(g.intersection(h))
+                if self.stats is not None and indicator is not None:
+                    self.stats.note_indicator_query()
                 if indicator is None or not indicator.query(self.pid, t):
+                    self._waiting(WAIT_INDICATOR)
                     return False
             return True
         for h in self._gamma_partners(t, g):  # line 32
             if h.name not in recorded:
+                self._waiting(WAIT_GAMMA)
                 return False
         return True
 
@@ -354,6 +396,7 @@ class Algorithm1Process:
             if m not in ilog:
                 continue
             if not self._all_at_least(ilog.messages_before(m), DELIVER):
+                self._waiting(WAIT_ORDER)
                 return False
         self.phase[m.mid] = DELIVER  # line 37
         self._on_deliver(self.pid, m)

@@ -12,17 +12,50 @@ from its crash time on, a process takes no further step.  *Participation
 sets* restrict which processes are scheduled at all; they express the
 P-fair runs of §6.2 (group parallelism) and the emulation constructions of
 §5 where entire group remainders take no step.
+
+Scheduling
+==========
+
+The seed engine re-scanned every scheduled process each round, paying
+O(processes × rounds) even when almost everyone was blocked on a quorum
+or a ``gamma`` wait.  The engine is now *event-driven*: a process whose
+scan fired nothing is parked until an event that can change its wait
+condition —
+
+* a write to a shared object it can read (its group logs, the
+  intersection logs of its groups, its reduction lists ``L_g``), via a
+  static *wake index* mapping object names to reader sets;
+* a change of the participation/responder sets (quorum availability);
+* a detector transition or a crash — conservatively covered by falling
+  back to a full scan while ``time <= settle_horizon()``, the window in
+  which gamma, the indicators and Omega may still move and processes may
+  still crash.
+
+The seeded random schedule is *unchanged*: the full eligible order is
+shuffled exactly as before and parked processes are merely skipped, so
+the RNG stream — and therefore the :class:`repro.model.RunRecord` trace —
+is byte-identical to the scan-everything engine (a skipped process would
+have fired nothing and recorded nothing).  ``scheduling="scan"`` restores
+the seed behaviour for differential testing; the per-round counters of
+both modes land in :attr:`MulticastSystem.tracer`.
+
+Caveat for auxiliary :data:`Component` sources: a component is re-run
+only while its process is awake.  Components whose enabledness is driven
+by shared-object state (like the Proposition 1 reduction) wake up with
+their process; a component driven by state the wake index cannot see
+must call :meth:`MulticastSystem.wake_all`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.algorithm1 import Algorithm1Process
 from repro.detectors.indicator import IndicatorOracle
 from repro.detectors.mu import Mu
 from repro.groups.topology import Group, GroupTopology
+from repro.metrics.trace import TraceRecorder, WAIT_IDLE
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
@@ -33,6 +66,9 @@ from repro.objects.space import ObjectSpace
 #: An auxiliary per-process action source (e.g. the Prop. 1 reduction):
 #: called as ``component(pid, t)`` and returns the number of actions fired.
 Component = Callable[[ProcessId, Time], int]
+
+#: Supported scheduling modes.
+SCHEDULING_MODES = ("event", "scan")
 
 
 class MulticastSystem:
@@ -47,6 +83,9 @@ class MulticastSystem:
         topology: destination groups.
         pattern: the failure pattern of this run.
         record: the observable trace, consumed by the property checkers.
+        tracer: per-round scheduling/stall counters (JSONL-exportable).
+        scheduling: ``"event"`` (wake-index driven, default) or
+            ``"scan"`` (the seed engine's scan-everything loop).
     """
 
     def __init__(
@@ -59,22 +98,41 @@ class MulticastSystem:
         omega_stabilization: Optional[Time] = None,
         seed: int = 0,
         isolation: bool = False,
+        scheduling: str = "event",
     ) -> None:
         if pattern.processes != topology.processes:
             raise SimulationError("pattern and topology disagree on processes")
+        if scheduling not in SCHEDULING_MODES:
+            raise SimulationError(f"unknown scheduling mode {scheduling!r}")
         self.topology = topology
         self.pattern = pattern
         self.variant = variant
+        self.scheduling = scheduling
         self.time: Time = 0
         self.record = RunRecord(topology.processes, pattern)
+        self.tracer = TraceRecorder()
         #: Processes able to respond to quorum requests *right now*:
         #: the alive processes within the current participation set.
         self._active: FrozenSet[ProcessId] = frozenset(
             p for p in topology.processes if pattern.is_alive(p, 0)
         )
         self._participation: Optional[ProcessSet] = None
+        #: Wake index: shared-object name -> processes that read it.
+        self._wake_index: Dict[str, FrozenSet[ProcessId]] = (
+            self._build_wake_index(topology)
+        )
+        #: Processes whose wait condition may have changed since their
+        #: last clean (zero-fired) scan.  Starts as everyone.
+        self._dirty: Set[ProcessId] = set(topology.processes)
+        #: Fingerprint of (scheduled set, responder set) of the last
+        #: round; a change forces a full scan (quorum availability).
+        self._sched_fingerprint: Optional[Tuple[FrozenSet, FrozenSet]] = None
         self.space = ObjectSpace(
-            self._charge, guard=self.quorum_ok, isolation=isolation
+            self._charge,
+            guard=self.quorum_ok,
+            isolation=isolation,
+            consensus_gate=self.consensus_ok,
+            on_write=self._on_object_write,
         )
         self.mu = Mu(
             pattern,
@@ -100,6 +158,7 @@ class MulticastSystem:
                 on_deliver=self._on_deliver,
                 variant=variant,
                 indicators=self.indicators,
+                stats=self.tracer,
             )
             for p in sorted(topology.processes)
         }
@@ -107,8 +166,48 @@ class MulticastSystem:
         self._rng = random.Random(seed)
         self._gamma_lag = gamma_lag
         self._indicator_lag = indicator_lag
+        last_crash = max(pattern.crash_times.values(), default=0)
+        self._settle_time: Time = (
+            max(
+                last_crash + gamma_lag + indicator_lag,
+                self.mu.omega_settle_time(),
+            )
+            + 1
+        )
 
     # -- Wiring ---------------------------------------------------------------
+
+    @staticmethod
+    def _build_wake_index(
+        topology: GroupTopology,
+    ) -> Dict[str, FrozenSet[ProcessId]]:
+        """Map each shared-object name to the processes that read it.
+
+        ``LOG_g`` and the reduction list ``L_g`` are read by the members
+        of ``g``; ``LOG_{g∩h}`` is read by the members of both groups.
+        Consensus objects need no entry: their state is only consumed by
+        the proposer within its own (already-fired) commit action.
+        """
+        index: Dict[str, Set[ProcessId]] = {}
+        for g in topology.groups:
+            index.setdefault(f"LOG_{g.name}", set()).update(g.members)
+            index.setdefault(f"L_{g.name}", set()).update(g.members)
+        for g, h in topology.intersecting_pairs():
+            first, second = sorted((g, h), key=lambda x: x.name)
+            readers = index.setdefault(
+                f"LOG_{first.name}∩{second.name}", set()
+            )
+            readers.update(g.members)
+            readers.update(h.members)
+        return {name: frozenset(pids) for name, pids in index.items()}
+
+    def _on_object_write(self, name: str) -> None:
+        """A shared object mutated: wake its readers (everyone if unknown)."""
+        self._dirty |= self._wake_index.get(name, self.topology.processes)
+
+    def wake_all(self) -> None:
+        """Force every process through the next action scan."""
+        self._dirty = set(self.topology.processes)
 
     def _charge(self, p: ProcessId, reason: str) -> None:
         self.record.note_step(self.time, p, received=reason)
@@ -130,7 +229,25 @@ class MulticastSystem:
             required = alive_scope
         else:
             required = set(scope)
-        return required <= self._active
+        available = required <= self._active
+        self.tracer.note_quorum_query(available)
+        return available
+
+    def consensus_ok(self, caller: ProcessId, host: Group) -> bool:
+        """Whether the consensus hosted by ``host`` can terminate now.
+
+        The §4.3 construction builds consensus from ``Omega_g ∧ Sigma_g``;
+        its termination is guaranteed only once ``Omega_g`` has
+        stabilized.  The engine takes the adversarial reading: before the
+        oracle's stabilization time, ballots may be preempted forever, so
+        proposals do not complete.  (When the whole host group is faulty
+        the Leadership obligation is vacuous and the quorum guard already
+        pins the operation.)
+        """
+        omega = self.mu.omega(host)
+        if omega.eventual_leader is None:
+            return True
+        return self.time >= omega.stabilization_time
 
     def _on_deliver(self, p: ProcessId, m: MulticastMessage) -> None:
         self.record.note_delivery(self.time, p, m)
@@ -138,6 +255,7 @@ class MulticastSystem:
     def add_component(self, component: Component) -> None:
         """Register an auxiliary action source, run before the algorithm."""
         self._components.append(component)
+        self.wake_all()
 
     # -- Interface -----------------------------------------------------------------
 
@@ -166,6 +284,9 @@ class MulticastSystem:
             raise SimulationError(f"{src} is crashed and cannot multicast")
         message = self.make_message(src, group, payload)
         self.record.note_multicast(self.time, src, message)
+        # The sender must retry its line-7 append even when the append is
+        # deferred on a quorum (no object write happens in that case).
+        self._dirty.add(src)
         self.processes[src].multicast(message)
         return message
 
@@ -202,19 +323,47 @@ class MulticastSystem:
             )
         order.sort()
         self._rng.shuffle(order)
+        fingerprint = (frozenset(order), self._active)
+        full_scan = (
+            self.scheduling == "scan"
+            or self.time <= self._settle_time
+            or fingerprint != self._sched_fingerprint
+            or (action_budget is not None and action_budget <= 0)
+        )
+        self._sched_fingerprint = fingerprint
+        self.tracer.begin_round(self.time, len(order), full_scan)
         fired = 0
         for p in order:
+            if not full_scan and p not in self._dirty:
+                self.tracer.note_skipped()
+                continue
+            self._dirty.discard(p)
+            p_fired = 0
             for component in self._components:
-                fired += component(p, self.time)
-            fired += self.processes[p].try_actions(
-                self.time, budget=action_budget
-            )
+                p_fired += component(p, self.time)
+            process = self.processes[p]
+            p_fired += process.try_actions(self.time, budget=action_budget)
+            fired += p_fired
+            self.tracer.note_scanned(p_fired)
+            if p_fired == 0:
+                for reason in process.wait_reasons or {WAIT_IDLE}:
+                    self.tracer.note_wait(reason)
+            else:
+                # Its own local state moved: its next action may already
+                # be enabled without any further shared-object write.
+                self._dirty.add(p)
+        self.tracer.end_round()
         return fired
 
     def settle_horizon(self) -> Time:
-        """A time by which all detector outputs have stabilized."""
-        last_crash = max(self.pattern.crash_times.values(), default=0)
-        return last_crash + self._gamma_lag + self._indicator_lag + 1
+        """A time by which all detector outputs have stabilized.
+
+        Covers the last crash plus the gamma and indicator detection
+        lags, *and* the Omega stabilization time: actions blocked on the
+        §4.3 consensus construction only re-enable once the leader
+        oracles have settled (see :meth:`consensus_ok`).
+        """
+        return self._settle_time
 
     def run(
         self,
@@ -226,8 +375,8 @@ class MulticastSystem:
 
         Quiescence requires ``quiescent_rounds`` consecutive idle rounds
         *after* the detector settle horizon, since actions blocked on
-        ``gamma`` or an indicator may re-enable when a family dies.
-        Returns the number of rounds executed.
+        ``gamma``, an indicator or an unstable Omega may re-enable when
+        the detectors settle.  Returns the number of rounds executed.
         """
         idle = 0
         rounds = 0

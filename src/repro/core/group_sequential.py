@@ -54,7 +54,10 @@ class AtomicMulticast:
         handle = self._lists.get(g)
         if handle is None:
             handle = LogHandle(
-                Log(f"L_{g.name}"), g.members, self.system._charge
+                Log(f"L_{g.name}"),
+                g.members,
+                self.system._charge,
+                on_write=self.system._on_object_write,
             )
             self._lists[g] = handle
         return handle

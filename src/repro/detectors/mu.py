@@ -87,6 +87,18 @@ class Mu(FailureDetector):
     def gamma(self) -> GammaOracle:
         return self._gamma
 
+    def omega_settle_time(self) -> Time:
+        """The latest stabilization time across the ``Omega_g`` components.
+
+        From this time on every group's leader oracle reports its
+        eventual leader; it is part of the engine's detector settle
+        horizon (liveness of the §4.3 consensus construction is only
+        guaranteed after Omega stabilizes).
+        """
+        return max(
+            (o.stabilization_time for o in self._omegas.values()), default=0
+        )
+
     def gamma_partners(self, p: ProcessId, t: Time, g: Group) -> Tuple[Group, ...]:
         """``gamma(g)`` as seen by ``p`` at ``t`` (§3 derived notation)."""
         return gamma_groups(self._gamma.query(p, t), g)

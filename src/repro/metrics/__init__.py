@@ -1,4 +1,4 @@
-"""Run metrics and benchmark table formatting."""
+"""Run metrics, per-round trace instrumentation and table formatting."""
 
 from repro.metrics.summary import (
     RunSummary,
@@ -7,5 +7,33 @@ from repro.metrics.summary import (
     steps_at,
     summarize,
 )
+from repro.metrics.trace import (
+    TRACE_SCHEMA_VERSION,
+    WAIT_CONSENSUS,
+    WAIT_GAMMA,
+    WAIT_IDLE,
+    WAIT_INDICATOR,
+    WAIT_ORDER,
+    WAIT_QUORUM,
+    RoundTrace,
+    TraceRecorder,
+    read_jsonl,
+)
 
-__all__ = ["RunSummary", "format_table", "latency_of", "steps_at", "summarize"]
+__all__ = [
+    "RunSummary",
+    "format_table",
+    "latency_of",
+    "steps_at",
+    "summarize",
+    "TRACE_SCHEMA_VERSION",
+    "WAIT_CONSENSUS",
+    "WAIT_GAMMA",
+    "WAIT_IDLE",
+    "WAIT_INDICATOR",
+    "WAIT_ORDER",
+    "WAIT_QUORUM",
+    "RoundTrace",
+    "TraceRecorder",
+    "read_jsonl",
+]

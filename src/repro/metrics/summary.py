@@ -40,15 +40,26 @@ class RunSummary:
     deliveries: int
 
 
-def latency_of(record: RunRecord, message: MulticastMessage) -> Optional[int]:
-    """Rounds from the multicast of ``message`` to its last delivery."""
+def latency_of(
+    record: RunRecord,
+    message: MulticastMessage,
+    correct_only: bool = True,
+) -> Optional[int]:
+    """Rounds from the multicast of ``message`` to its last delivery.
+
+    Uniform Total Order obliges only *correct* members to deliver, so by
+    default deliveries at processes that later crash are excluded: a
+    faulty member that squeezes a delivery in just before (or long
+    after) everyone else would otherwise skew the latency.  Pass
+    ``correct_only=False`` to keep every deliverer.
+    """
     sent = record.multicast_time(message)
     if sent is None:
         return None
-    times = [
-        record.delivery_time(p, message)
-        for p in record.delivered_by(message)
-    ]
+    deliverers = record.delivered_by(message)
+    if correct_only:
+        deliverers = [p for p in deliverers if record.pattern.is_correct(p)]
+    times = [record.delivery_time(p, message) for p in deliverers]
     times = [t for t in times if t is not None]
     if not times:
         return None
@@ -87,7 +98,19 @@ def steps_at(record: RunRecord, processes: Iterable[ProcessId]) -> int:
 def format_table(
     headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> str:
-    """Render a small fixed-width ASCII table (benchmark output)."""
+    """Render a small fixed-width ASCII table (benchmark output).
+
+    Every row must have exactly ``len(headers)`` cells; a ragged row
+    raises :class:`ValueError` naming the offending row instead of
+    crashing with an :class:`IndexError` (too many cells) or silently
+    misaligning the table (too few).
+    """
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells, expected "
+                f"{len(headers)} (headers: {list(headers)})"
+            )
     columns = [[str(h)] for h in headers]
     for row in rows:
         for i, cell in enumerate(row):

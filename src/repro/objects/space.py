@@ -38,6 +38,16 @@ ChargeFn = Callable[[ProcessId, str], None]
 #: is currently able to respond (see MulticastSystem.quorum_ok).
 GuardFn = Callable[[ProcessId, ProcessSet], bool]
 
+#: Consensus gate: (caller, host group) -> True when the leader-driven
+#: consensus hosted by the group can terminate now (the adversarial
+#: reading of ``Omega_g``: before the oracle stabilizes, ballots may be
+#: preempted forever — see MulticastSystem.consensus_ok).
+ConsensusGateFn = Callable[[ProcessId, Group], bool]
+
+#: Write notification: (object name) -> None, reported on every mutation
+#: so the runtime's wake index can re-run the object's readers.
+WriteFn = Callable[[str], None]
+
 
 def _no_charge(_p: ProcessId, _reason: str) -> None:
     """Default accounting sink: discard charges."""
@@ -62,11 +72,18 @@ class LogHandle:
         carriers: ProcessSet,
         charge: ChargeFn,
         guard: GuardFn = _always_available,
+        on_write: Optional[WriteFn] = None,
     ) -> None:
         self.log = log
         self.carriers = carriers
         self._charge = charge
         self._guard = guard
+        self._on_write = on_write
+
+    def _notify_write(self) -> None:
+        """Report a mutation to the runtime (drives the wake index)."""
+        if self._on_write is not None:
+            self._on_write(self.log.name)
 
     @property
     def name(self) -> str:
@@ -92,10 +109,12 @@ class LogHandle:
 
     def append(self, caller: ProcessId, datum: Any) -> int:
         self._bill(caller, "append")
+        self._notify_write()
         return self.log.append(datum)
 
     def bump_and_lock(self, caller: ProcessId, datum: Any, k: int) -> int:
         self._bill(caller, "bumpAndLock")
+        self._notify_write()
         return self.log.bump_and_lock(datum, k)
 
     # -- Reads (free) --------------------------------------------------------
@@ -143,8 +162,9 @@ class IntersectionLogHandle(LogHandle):
         charge: ChargeFn,
         guard: GuardFn = _always_available,
         isolation: bool = False,
+        on_write: Optional[WriteFn] = None,
     ) -> None:
-        super().__init__(log, intersection, charge, guard)
+        super().__init__(log, intersection, charge, guard, on_write=on_write)
         self.host_group = host_group
         #: §6.2 configuration: the backing consensus runs inside ``g∩h``
         #: (from ``Sigma_{g∩h} ∧ Omega_{g∩h}``) instead of a host group.
@@ -205,10 +225,12 @@ class IntersectionLogHandle(LogHandle):
 
     def append(self, caller: ProcessId, datum: Any) -> int:
         self._bill_op(caller, "append", ("append", datum))
+        self._notify_write()
         return self.log.append(datum)
 
     def bump_and_lock(self, caller: ProcessId, datum: Any, k: int) -> int:
         self._bill_op(caller, "bumpAndLock", ("bumpAndLock", datum, k))
+        self._notify_write()
         return self.log.bump_and_lock(datum, k)
 
 
@@ -221,15 +243,21 @@ class ConsensusHandle:
         host_group: Group,
         charge: ChargeFn,
         guard: GuardFn = _always_available,
+        gate: Optional[ConsensusGateFn] = None,
     ) -> None:
         self.cons = cons
         self.host_group = host_group
         self._charge = charge
         self._guard = guard
+        self._gate = gate
 
     def mutation_available(self, caller: ProcessId) -> bool:
-        """Whether a proposal can reach a quorum of the host group now."""
-        return self._guard(caller, self.host_group.members)
+        """Whether a proposal can terminate now: a quorum of the host
+        group responds *and* the group's leader oracle has stabilized
+        (``Omega_g ∧ Sigma_g``, the §4.3 consensus construction)."""
+        if not self._guard(caller, self.host_group.members):
+            return False
+        return self._gate is None or self._gate(caller, self.host_group)
 
     def propose(self, caller: ProcessId, value: Any) -> Any:
         reason = f"{self.cons.name}.propose"
@@ -260,9 +288,13 @@ class ObjectSpace:
         charge: ChargeFn = _no_charge,
         guard: GuardFn = _always_available,
         isolation: bool = False,
+        consensus_gate: Optional[ConsensusGateFn] = None,
+        on_write: Optional[WriteFn] = None,
     ) -> None:
         self._charge = charge
         self._guard = guard
+        self._consensus_gate = consensus_gate
+        self._on_write = on_write
         #: §6.2 strongly-genuine configuration for intersection logs.
         self.isolation = isolation
         self._group_logs: Dict[Group, LogHandle] = {}
@@ -284,7 +316,11 @@ class ObjectSpace:
         handle = self._group_logs.get(g)
         if handle is None:
             handle = LogHandle(
-                Log(f"LOG_{g.name}"), g.members, self._charge, self._guard
+                Log(f"LOG_{g.name}"),
+                g.members,
+                self._charge,
+                self._guard,
+                on_write=self._on_write,
             )
             self._group_logs[g] = handle
         return handle
@@ -312,6 +348,7 @@ class ObjectSpace:
                 charge=self._charge,
                 guard=self._guard,
                 isolation=self.isolation,
+                on_write=self._on_write,
             )
             self._intersection_logs[key] = handle
         return handle
@@ -330,6 +367,7 @@ class ObjectSpace:
                 host,
                 self._charge,
                 self._guard,
+                gate=self._consensus_gate,
             )
             self._consensus[key] = handle
         return handle

@@ -19,6 +19,7 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.detectors.base import FailureDetector
+from repro.metrics.trace import WAIT_IDLE, TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import Datagram, MessageBuffer
@@ -72,6 +73,18 @@ class Automaton:
         """Called at every step with the received datagram (or null)."""
         raise NotImplementedError
 
+    def idle(self) -> bool:
+        """True when a step with no datagram cannot change this automaton.
+
+        Event-driven kernels (``Kernel(event_driven=True)``) skip started
+        processes that are idle and have nothing pending in the buffer.
+        The default is conservative — ``False`` keeps every process
+        stepping each round, which is always sound.  Automata that are
+        purely message-driven after start-up (they neither poll detectors
+        nor act spontaneously) may override this to report quiescence.
+        """
+        return False
+
 
 class Kernel:
     """Drives a set of automata over the shared message buffer.
@@ -87,12 +100,15 @@ class Kernel:
         automata: Dict[ProcessId, Automaton],
         detectors: Optional[Dict[ProcessId, FailureDetector]] = None,
         seed: int = 0,
+        event_driven: bool = False,
     ) -> None:
         self.pattern = pattern
         self.automata = dict(automata)
         self.detectors = detectors or {}
         self.buffer = MessageBuffer()
         self.time: Time = 0
+        self.event_driven = event_driven
+        self.tracer = TraceRecorder()
         self.outputs: Dict[ProcessId, List[Tuple[Time, Any]]] = {
             p: [] for p in automata
         }
@@ -122,6 +138,13 @@ class Kernel:
         The intra-round order is seeded-random.  Datagrams addressed to
         processes crashed by now are dropped (they will never receive).
         Returns the number of steps taken.
+
+        With ``event_driven=True`` a started process whose automaton
+        reports :meth:`Automaton.idle` and whose inbox is empty is
+        skipped: its step would receive the null message and, by the
+        automaton's own declaration, change nothing.  The full shuffled
+        order is still drawn first, so the schedule of the processes
+        that *do* step is identical to the scan kernel's.
         """
         self.time += 1
         for p in self.automata:
@@ -135,9 +158,25 @@ class Kernel:
         ]
         order.sort()
         self._rng.shuffle(order)
+        self.tracer.begin_round(
+            self.time, len(order), full_scan=not self.event_driven
+        )
+        stepped = 0
         for p in order:
+            if (
+                self.event_driven
+                and p in self._started
+                and self.automata[p].idle()
+                and not self.buffer.has_pending(p)
+            ):
+                self.tracer.note_skipped()
+                self.tracer.note_wait(WAIT_IDLE)
+                continue
             self.step_process(p)
-        return len(order)
+            self.tracer.note_scanned(1)
+            stepped += 1
+        self.tracer.end_round()
+        return stepped
 
     def run(
         self,

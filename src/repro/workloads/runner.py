@@ -42,7 +42,16 @@ class Send:
 
 @dataclass
 class ScenarioResult:
-    """Everything a test needs to judge a finished run."""
+    """Everything a test needs to judge a finished run.
+
+    Attributes:
+        skipped_sends: sends whose sender was already crashed at their
+            round — legitimately impossible, not a runner failure.
+        unsent_sends: sends never issued because ``max_rounds`` ran out
+            before their round was reached.  A truncated script proves
+            nothing, so :meth:`delivered_everywhere` refuses success
+            while this list is non-empty.
+    """
 
     record: RunRecord
     messages: List[MulticastMessage]
@@ -50,8 +59,11 @@ class ScenarioResult:
     multicaster: AtomicMulticast
     rounds: int
     skipped_sends: List[Send] = field(default_factory=list)
+    unsent_sends: List[Send] = field(default_factory=list)
 
     def delivered_everywhere(self) -> bool:
+        if self.unsent_sends:
+            return False
         return all(
             self.system.everyone_delivered(m) for m in self.messages
         )
@@ -66,11 +78,20 @@ def run_scenario(
     gamma_lag: Time = 0,
     indicator_lag: Time = 0,
     max_rounds: int = 600,
+    scheduling: str = "event",
+    trace_path: Optional[str] = None,
 ) -> ScenarioResult:
     """Execute a scripted scenario to quiescence.
 
     Sends whose sender is already crashed at their round are skipped and
     reported in ``skipped_sends`` (a crashed process cannot multicast).
+    Sends still waiting for their round when ``max_rounds`` runs out are
+    reported in ``unsent_sends`` — they were never issued, which makes
+    the run truncated rather than complete.
+
+    When ``trace_path`` is given, the engine's per-round trace is
+    written there as JSONL (see :mod:`repro.metrics.trace`) after the
+    run finishes.
     """
     system = MulticastSystem(
         topology,
@@ -79,6 +100,7 @@ def run_scenario(
         gamma_lag=gamma_lag,
         indicator_lag=indicator_lag,
         seed=seed,
+        scheduling=scheduling,
     )
     multicaster = AtomicMulticast(system)
     pending = sorted(sends, key=lambda s: s.at_round)
@@ -104,7 +126,21 @@ def run_scenario(
         rounds += 1
         if rounds >= max_rounds:
             break
+    unsent = list(pending[cursor:])
     rounds += multicaster.run(max_rounds=max_rounds - rounds)
+    if trace_path is not None:
+        system.tracer.write_jsonl(
+            trace_path,
+            meta={
+                "topology": repr(topology),
+                "pattern": str(pattern),
+                "seed": seed,
+                "variant": variant,
+                "scheduling": scheduling,
+                "sends": len(sends),
+                "rounds": rounds,
+            },
+        )
     return ScenarioResult(
         record=system.record,
         messages=messages,
@@ -112,6 +148,7 @@ def run_scenario(
         multicaster=multicaster,
         rounds=rounds,
         skipped_sends=skipped,
+        unsent_sends=unsent,
     )
 
 

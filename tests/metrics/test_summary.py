@@ -1,10 +1,13 @@
 """Tests for run metrics and the table formatter."""
 
+import pytest
+
 from repro.metrics import RunSummary, format_table, latency_of, steps_at, summarize
 from repro.model import (
     MessageFactory,
     RunRecord,
     by_indices,
+    crash_pattern,
     failure_free,
     make_processes,
     pset,
@@ -57,6 +60,41 @@ def test_steps_at_subsets():
     assert steps_at(record, []) == 0
 
 
+def faulty_deliverer_record():
+    """P2 crashes at round 10 but sneaks a delivery in at round 9."""
+    pattern = crash_pattern(ALL, {P2: 10})
+    record = RunRecord(ALL, pattern)
+    factory = MessageFactory()
+    m = factory.multicast(P1, by_indices(1, 2))
+    record.note_multicast(1, P1, m)
+    record.note_delivery(3, P1, m)
+    record.note_delivery(9, P2, m)  # faulty — crashes next round
+    return record, m
+
+
+def test_latency_excludes_faulty_deliverers_by_default():
+    # Seed bug: the faulty P2's round-9 delivery dominated max(), so
+    # latency_of reported 8 instead of the correct-members-only 2.
+    record, m = faulty_deliverer_record()
+    assert latency_of(record, m) == 2
+
+
+def test_latency_correct_only_flag_restores_all_deliverers():
+    record, m = faulty_deliverer_record()
+    assert latency_of(record, m, correct_only=False) == 8
+
+
+def test_latency_none_when_only_faulty_processes_delivered():
+    pattern = crash_pattern(ALL, {P2: 10})
+    record = RunRecord(ALL, pattern)
+    factory = MessageFactory()
+    m = factory.multicast(P1, by_indices(1, 2))
+    record.note_multicast(1, P1, m)
+    record.note_delivery(9, P2, m)
+    assert latency_of(record, m) is None
+    assert latency_of(record, m, correct_only=False) == 8
+
+
 def test_format_table_alignment():
     table = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)])
     lines = table.splitlines()
@@ -65,3 +103,16 @@ def test_format_table_alignment():
     assert len(lines) == 4
     widths = {len(line) for line in lines}
     assert len(widths) == 1  # every row padded to the same width
+
+
+def test_format_table_rejects_long_rows():
+    # Seed bug: a row longer than the header list raised a bare
+    # IndexError from columns[i].
+    with pytest.raises(ValueError, match="row 1 has 3 cells, expected 2"):
+        format_table(("a", "b"), [(1, 2), (1, 2, 3)])
+
+
+def test_format_table_rejects_short_rows():
+    # Seed bug: a short row silently rendered a misaligned table.
+    with pytest.raises(ValueError, match="row 0 has 1 cells, expected 2"):
+        format_table(("a", "b"), [(1,)])

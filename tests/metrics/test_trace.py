@@ -1,0 +1,102 @@
+"""Tests for the per-round trace recorder and its JSONL exporter."""
+
+from repro.metrics import (
+    TRACE_SCHEMA_VERSION,
+    WAIT_IDLE,
+    WAIT_QUORUM,
+    TraceRecorder,
+    read_jsonl,
+)
+from repro.model import failure_free, make_processes, pset
+from repro.workloads import Send, chain_topology, run_scenario
+
+
+class TestRecorder:
+    def test_round_lifecycle_counters(self):
+        tr = TraceRecorder()
+        tr.begin_round(time=1, eligible=3, full_scan=True)
+        tr.note_scanned(fired=2)
+        tr.note_scanned(fired=0)
+        tr.note_skipped()
+        tr.note_quorum_query(available=True)
+        tr.note_quorum_query(available=False)
+        tr.note_wait(WAIT_QUORUM)
+        done = tr.end_round()
+        assert done.round == 1
+        assert done.eligible == 3
+        assert done.scanned == 2
+        assert done.skipped == 1
+        assert done.actions == 2
+        assert done.full_scan
+        assert done.quorum_queries == 2
+        assert done.quorum_stalls == 1
+        assert done.wait_reasons == {WAIT_QUORUM: 1}
+
+    def test_events_outside_a_round_are_not_lost_by_end_round(self):
+        tr = TraceRecorder()
+        assert tr.end_round() is None
+        tr.note_scanned(1)  # no open round: silently ignored
+        assert tr.rounds == []
+
+    def test_summary_totals_and_ratio(self):
+        tr = TraceRecorder()
+        for _ in range(2):
+            tr.begin_round(time=1, eligible=4, full_scan=False)
+            tr.note_scanned(1)
+            tr.note_skipped()
+            tr.note_skipped()
+            tr.note_skipped()
+            tr.note_wait(WAIT_IDLE)
+            tr.end_round()
+        summary = tr.summary()
+        assert summary["rounds"] == 2
+        assert summary["eligible"] == 8
+        assert summary["scanned"] == 2
+        assert summary["skipped"] == 6
+        assert summary["scan_ratio"] == 4.0
+        assert summary["full_scan_rounds"] == 0
+        assert summary["wait_reasons"] == {WAIT_IDLE: 2}
+
+    def test_empty_summary_has_zero_ratio(self):
+        assert TraceRecorder().summary()["scan_ratio"] == 0.0
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = TraceRecorder()
+        tr.begin_round(time=1, eligible=2, full_scan=True)
+        tr.note_scanned(1)
+        tr.end_round()
+        path = str(tmp_path / "trace.jsonl")
+        tr.write_jsonl(path, meta={"seed": 7})
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["meta", "round", "summary"]
+        meta, round_line, summary = records
+        assert meta["schema"] == TRACE_SCHEMA_VERSION
+        assert meta["seed"] == 7
+        assert round_line["eligible"] == 2
+        assert round_line["scanned"] == 1
+        assert summary["actions"] == 1
+
+    def test_runner_trace_path_writes_a_consistent_file(self, tmp_path):
+        topo = chain_topology(2)
+        procs = make_processes(3)
+        path = str(tmp_path / "run.jsonl")
+        result = run_scenario(
+            topo,
+            failure_free(pset(procs)),
+            [Send(1, "g1", 0), Send(3, "g2", 2)],
+            seed=4,
+            trace_path=path,
+        )
+        assert result.delivered_everywhere()
+        records = read_jsonl(path)
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "summary"
+        round_lines = [r for r in records if r["type"] == "round"]
+        assert round_lines  # at least one executed round traced
+        summary = records[-1]
+        assert summary["rounds"] == len(round_lines)
+        assert summary["scanned"] == sum(r["scanned"] for r in round_lines)
+        for r in round_lines:
+            assert r["eligible"] == r["scanned"] + r["skipped"]

@@ -122,3 +122,60 @@ class TestStepSemantics:
             return kernel.outputs
 
         assert str(trace(9)) == str(trace(9))
+
+
+class QuietEcho(Echo):
+    """An Echo that declares itself purely message-driven."""
+
+    def idle(self):
+        return True
+
+
+class QuietChatter(Chatter):
+    def idle(self):
+        return self.sent
+
+
+def build_quiet(event_driven, seed=0):
+    automata = {
+        PROCS[0]: QuietChatter([PROCS[1], PROCS[2]]),
+        PROCS[1]: QuietEcho(),
+        PROCS[2]: QuietEcho(),
+    }
+    kernel = Kernel(
+        failure_free(ALL), automata, seed=seed, event_driven=event_driven
+    )
+    return automata, kernel
+
+
+class TestEventDrivenKernel:
+    def test_idle_skip_preserves_outputs(self):
+        scan_automata, scan = build_quiet(event_driven=False, seed=9)
+        scan.run(6)
+        event_automata, event = build_quiet(event_driven=True, seed=9)
+        event.run(6)
+        assert str(scan.outputs) == str(event.outputs)
+        assert scan.total_messages() == event.total_messages()
+
+    def test_idle_skip_saves_steps(self):
+        _, event = build_quiet(event_driven=True, seed=9)
+        event.run(6)
+        summary = event.tracer.summary()
+        assert summary["skipped"] > 0
+        assert summary["scanned"] < summary["eligible"]
+        # Once the chatter has sent and the echoes drained their
+        # inboxes, whole rounds go by without a single step.
+        assert sum(event.steps_taken.values()) < 3 * 6
+
+    def test_default_automaton_is_never_skipped(self):
+        automata, kernel = build(seed=9)
+        kernel.event_driven = True
+        kernel.run(6)
+        # Echo/Chatter keep the conservative idle() == False default.
+        assert all(count == 6 for count in kernel.steps_taken.values())
+
+    def test_unstarted_process_is_always_stepped(self):
+        _, event = build_quiet(event_driven=True, seed=9)
+        event.round()
+        # Every process took its start step despite reporting idle.
+        assert all(count == 1 for count in event.steps_taken.values())
