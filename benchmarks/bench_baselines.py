@@ -22,7 +22,7 @@ from repro.groups import topology_from_indices
 from repro.metrics import format_table
 from repro.model import by_indices, crash_pattern, failure_free, make_processes, pset
 from repro.props import check_minimality, check_ordering, check_termination
-from repro.workloads import Send, run_scenario
+from repro.workloads import ScenarioSpec, Send, run_scenario
 
 #: A topology every baseline can host: two groups sharing a partition.
 TOPO = topology_from_indices(5, {"g": [1, 2, 3], "h": [2, 3, 4]})
@@ -64,11 +64,14 @@ def _sends_into(protocol, pattern=None):
 
 
 def test_algorithm1_row(benchmark):
+    specs = [
+        ScenarioSpec.capture(TOPO, failure_free(ALL), SENDS, seed=1),
+        ScenarioSpec.capture(TOPO, crash_one(), SENDS, seed=2),
+        ScenarioSpec.capture(TOPO, crash_intersection(), SENDS, seed=3),
+    ]
+
     def scenario():
-        ok_free = run_scenario(TOPO, failure_free(ALL), SENDS, seed=1)
-        ok_one = run_scenario(TOPO, crash_one(), SENDS, seed=2)
-        ok_wipe = run_scenario(TOPO, crash_intersection(), SENDS, seed=3)
-        return ok_free, ok_one, ok_wipe
+        return tuple(run_scenario(spec) for spec in specs)
 
     ok_free, ok_one, ok_wipe = run_once(benchmark, scenario)
     for result in (ok_free, ok_one, ok_wipe):

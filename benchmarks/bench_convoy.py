@@ -21,14 +21,16 @@ from __future__ import annotations
 import pytest
 
 from conftest import run_once
+from repro.campaign import Campaign, case, run_campaign
 from repro.core import AtomicMulticast, MulticastSystem
 from repro.metrics import format_table
 from repro.model import failure_free, make_processes, pset
 from repro.props import assert_run_ok
-from repro.workloads import hub_topology
+from repro.workloads import Send, hub_topology
 
 ROWS = []
 SCAN_ROWS = []
+CAMPAIGN_ROWS = []
 
 
 def teardown_module(module):
@@ -51,6 +53,14 @@ def teardown_module(module):
             format_table(
                 ("spoke groups", "eligible", "event scanned", "ratio"),
                 SCAN_ROWS,
+            )
+        )
+    if CAMPAIGN_ROWS:
+        print("\nConvoy sweep via the campaign API: probe work vs spokes:")
+        print(
+            format_table(
+                ("spoke groups", "contended actions", "idle actions", "gap"),
+                CAMPAIGN_ROWS,
             )
         )
 
@@ -124,3 +134,63 @@ def test_wake_index_scan_ratio(trace_export):
         )
     # ISSUE acceptance: >= 2x fewer scans on the convoy workload.
     assert SCAN_ROWS[-1][3] >= 2.0
+
+
+def _convoy_case(k: int, contended: bool):
+    """The convoy workload as a declarative send script.
+
+    Spoke senders fire into g2..gk at round 0; the probe multicasts to
+    g1 at round 1, racing the spokes through the logs they share with
+    the hub process p1.
+    """
+    topo = hub_topology(k)
+    sends = []
+    if contended:
+        for i in range(2, k + 1):
+            group = topo.group(f"g{i}")
+            sends.append(Send(sorted(group.members)[-1].index, f"g{i}", 0))
+    sends.append(Send(1, "g1", 1))
+    label = f"hub{k}" if contended else f"hub{k}-idle"
+    return case(label, topo, sends=tuple(sends))
+
+
+def test_convoy_campaign_sweep(benchmark):
+    """The k-sweep of E4, ported onto the campaign API.
+
+    Under full-parallel ticks the convoy shows up as *work*, not
+    rounds: the actions the system executes before quiescence grow
+    superlinearly with the number of contending spoke groups, while the
+    idle control grows by a constant per extra group.  One campaign
+    covers both arms of every k; the gap per k is the convoy.
+    """
+    spokes = (2, 3, 4, 5, 6)
+    campaign = Campaign(
+        name="convoy-sweep",
+        cases=tuple(
+            _convoy_case(k, contended)
+            for k in spokes
+            for contended in (True, False)
+        ),
+        seeds=(31,),
+        max_rounds=3000,
+    )
+
+    report = run_once(benchmark, lambda: run_campaign(campaign, workers=1))
+    summary = report.summary
+    assert summary["failed"] == 0 and summary["truncated"] == 0
+    assert summary["delivered"] == summary["scenarios"]
+    assert sum(summary["violations"].values()) == 0
+
+    actions = {
+        row["name"].split(":", 1)[0]: row["trace"]["actions"]
+        for row in report.rows
+    }
+    gaps = []
+    for k in spokes:
+        gap = actions[f"hub{k}"] - actions[f"hub{k}-idle"]
+        CAMPAIGN_ROWS.append(
+            (k, actions[f"hub{k}"], actions[f"hub{k}-idle"], gap)
+        )
+        gaps.append(gap)
+    assert all(gap > 0 for gap in gaps)
+    assert gaps == sorted(gaps) and gaps[-1] > gaps[0]

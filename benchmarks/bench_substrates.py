@@ -21,7 +21,7 @@ from repro.metrics import format_table
 from repro.model import crash_pattern, failure_free, make_processes, pset
 from repro.sim import Kernel
 from repro.substrates import ConsensusCluster, ReplicatedLogCluster
-from repro.workloads import random_sends, run_scenario, ring_topology
+from repro.workloads import ScenarioSpec, random_sends, run_scenario, ring_topology
 
 CONSENSUS_ROWS = []
 LOG_ROWS = []
@@ -93,14 +93,15 @@ def test_fast_path_dominates_uncontended_runs(benchmark):
     topo = ring_topology(4)
     procs = make_processes(4)
 
+    spec = ScenarioSpec.capture(
+        topo,
+        failure_free(pset(procs)),
+        random_sends(topo, 8, seed=5),
+        seed=5,
+    )
+
     def scenario():
-        result = run_scenario(
-            topo,
-            failure_free(pset(procs)),
-            random_sends(topo, 8, seed=5),
-            seed=5,
-        )
-        return result.system.space.intersection_log_stats()
+        return run_scenario(spec).system.space.intersection_log_stats()
 
     stats = run_once(benchmark, scenario)
     total_fast = sum(fast for fast, _ in stats.values())

@@ -26,6 +26,7 @@ import pytest
 
 from conftest import run_once
 from repro.baselines import BroadcastMulticast
+from repro.campaign import Campaign, case, run_campaign
 from repro.core import MulticastSystem
 from repro.groups import paper_figure1_topology
 from repro.metrics import format_table
@@ -38,8 +39,9 @@ from repro.props import (
     check_pairwise_ordering,
     check_strict_ordering,
     check_termination,
+    verdicts_ok,
 )
-from repro.workloads import Send, chain_topology, run_scenario
+from repro.workloads import ScenarioSpec, Send, chain_topology, run_scenario
 
 PROCS = make_processes(5)
 ALL = pset(PROCS)
@@ -89,11 +91,12 @@ def test_row_genuine_global_order_mu(benchmark):
     """Row 4 (the paper's main result): genuine atomic multicast from mu,
     tolerating arbitrary failures."""
 
+    spec = ScenarioSpec.capture(
+        paper_figure1_topology(), crash_pattern(ALL, CRASH), SENDS, seed=3
+    )
+
     def scenario():
-        pattern = crash_pattern(ALL, CRASH)
-        return run_scenario(
-            paper_figure1_topology(), pattern, SENDS, seed=3
-        ).record
+        return run_scenario(spec).record
 
     record = run_once(benchmark, scenario)
     assert check_integrity(record) == []
@@ -106,15 +109,16 @@ def test_row_genuine_global_order_mu(benchmark):
 def test_row_genuine_strict_order(benchmark):
     """Row 5: strict (real-time) order needs mu ∧ (∧ 1^{g∩h})."""
 
+    spec = ScenarioSpec.capture(
+        paper_figure1_topology(),
+        crash_pattern(ALL, CRASH),
+        SENDS,
+        seed=4,
+        variant="strict",
+    )
+
     def scenario():
-        pattern = crash_pattern(ALL, CRASH)
-        return run_scenario(
-            paper_figure1_topology(),
-            pattern,
-            SENDS,
-            seed=4,
-            variant="strict",
-        ).record
+        return run_scenario(spec).record
 
     record = run_once(benchmark, scenario)
     assert check_strict_ordering(record) == []
@@ -128,13 +132,15 @@ def test_row_pairwise_order_needs_no_gamma(benchmark):
     """Row 6: pairwise ordering is computably F = ∅ — on an acyclic
     topology (gamma trivially silent) the remaining conjuncts suffice."""
 
+    spec = ScenarioSpec.capture(
+        chain_topology(3),
+        failure_free(pset(make_processes(4))),
+        [Send(1, "g1", 0), Send(2, "g2", 0), Send(4, "g3", 1)],
+        seed=5,
+    )
+
     def scenario():
-        topo = chain_topology(3)
-        procs = make_processes(4)
-        sends = [Send(1, "g1", 0), Send(2, "g2", 0), Send(4, "g3", 1)]
-        return run_scenario(
-            topo, failure_free(pset(procs)), sends, seed=5
-        ).record
+        return run_scenario(spec).record
 
     record = run_once(benchmark, scenario)
     assert check_pairwise_ordering(record) == []
@@ -181,19 +187,19 @@ def test_necessity_witness_gamma(benchmark):
     """Weakened gamma (never completes) blocks termination: the waiters
     of line 18/32 never learn that the cyclic family died."""
 
+    # p2 = g1∩g2 dies *before* the g1 traffic: the commit wait of
+    # line 18 can only be released by gamma's completeness.
+    spec = ScenarioSpec.capture(
+        paper_figure1_topology(),
+        crash_pattern(ALL, {PROCS[1]: 1}),
+        [Send(1, "g1", 5)],
+        seed=7,
+        gamma_lag=10_000,  # effectively: completeness never fires
+        max_rounds=120,
+    )
+
     def scenario():
-        # p2 = g1∩g2 dies *before* the g1 traffic: the commit wait of
-        # line 18 can only be released by gamma's completeness.
-        pattern = crash_pattern(ALL, {PROCS[1]: 1})
-        sends = [Send(1, "g1", 5)]
-        return run_scenario(
-            paper_figure1_topology(),
-            pattern,
-            sends,
-            seed=7,
-            gamma_lag=10_000,  # effectively: completeness never fires
-            max_rounds=120,
-        ).record
+        return run_scenario(spec).record
 
     record = run_once(benchmark, scenario)
     assert check_termination(record) != [], (
@@ -221,4 +227,44 @@ def test_necessity_witness_sigma(benchmark):
     assert record.delivered_by(message) == frozenset()
     ROWS.append(
         ("ok", "global", "mu minus Sigma", "BLOCKS (necessity witness)")
+    )
+
+
+def test_matrix_rows_as_campaign_sweep(benchmark):
+    """The mu rows of the matrix, swept across seeds via the campaign API.
+
+    What each row above checks once, the campaign re-checks as a grid:
+    the Figure 1 crash scenario under four seeds and both ordering
+    variants, every row verdict-checked in batch.  This is the sweep
+    style bench_campaign.py measures at scale.
+    """
+    campaign = Campaign(
+        name="table1-mu-row",
+        cases=(
+            case(
+                "figure1-crash",
+                paper_figure1_topology(),
+                crashes=tuple((p.index, t) for p, t in CRASH.items()),
+                sends=tuple(SENDS),
+            ),
+        ),
+        seeds=(3, 4, 5, 6),
+        variants=("vanilla", "strict"),
+    )
+
+    report = run_once(benchmark, lambda: run_campaign(campaign, workers=1))
+    summary = report.summary
+    assert summary["scenarios"] == 8
+    assert summary["ok"] == 8 and summary["failed"] == 0
+    assert summary["delivered"] == 8 and summary["truncated"] == 0
+    assert sum(summary["violations"].values()) == 0
+    for row in report.ok_rows():
+        assert verdicts_ok(row["verdicts"]), row["name"]
+    ROWS.append(
+        (
+            "ok",
+            "global+strict",
+            "mu (campaign sweep)",
+            "8 seeded scenarios, all properties hold",
+        )
     )

@@ -1,0 +1,39 @@
+"""Parallel scenario sweeps over declarative campaign grids.
+
+The pipeline is ``spec -> executor -> aggregator``:
+
+1. a :class:`Campaign` expands a declarative grid into frozen, hashable
+   :class:`repro.workloads.spec.ScenarioSpec` values;
+2. :func:`run_campaign` executes them — serially, or fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor` — with per-scenario
+   failure isolation and deterministic, worker-count-independent row
+   ordering;
+3. the streaming :class:`repro.metrics.sweep.SweepAggregator` folds rows
+   into campaign totals, and :class:`CampaignReport` serializes the whole
+   sweep as a ``manifest.json`` + ``results.jsonl`` pair whose bytes do
+   not depend on how the sweep was executed.
+
+``python -m repro.campaign`` runs a small built-in smoke sweep (see
+:mod:`repro.campaign.__main__`).
+"""
+
+from repro.campaign.aggregate import CAMPAIGN_SCHEMA_VERSION, CampaignReport
+from repro.campaign.executor import (
+    MODES,
+    execute_spec,
+    iter_campaign_rows,
+    run_campaign,
+)
+from repro.campaign.grid import Campaign, CampaignCase, case
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "CampaignReport",
+    "MODES",
+    "execute_spec",
+    "iter_campaign_rows",
+    "run_campaign",
+    "Campaign",
+    "CampaignCase",
+    "case",
+]

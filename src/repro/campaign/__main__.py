@@ -1,0 +1,113 @@
+"""``python -m repro.campaign`` — the built-in smoke sweep.
+
+Runs a small campaign over the paper's Figure 1 topology plus a ring, a
+chain and a hub, across several seeds and both protocol variants, then
+writes the campaign artifacts (``manifest.json`` + ``results.jsonl``)
+and prints the aggregate.  CI uses this as the campaign smoke job; the
+exit status is non-zero when any scenario failed or violated a checked
+property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.grid import Campaign, case
+from repro.groups.topology import paper_figure1_topology
+from repro.metrics.sweep import sweep_table
+from repro.workloads.runner import Send
+from repro.workloads.topologies import chain_topology, hub_topology, ring_topology
+
+
+def smoke_campaign(seeds: int = 2, max_rounds: int = 600) -> Campaign:
+    """The default smoke grid: 4 cases x ``seeds`` x 2 variants."""
+    figure1 = paper_figure1_topology()
+    return Campaign(
+        name="smoke",
+        cases=(
+            case(
+                "figure1-crash",
+                figure1,
+                crashes=((2, 4),),  # p2 = g1 ∩ g2 dies mid-run
+                sends=(
+                    Send(1, "g1", 0),
+                    Send(3, "g2", 0),
+                    Send(4, "g3", 1),
+                    Send(5, "g4", 1),
+                    Send(2, "g1", 2),
+                ),
+            ),
+            case(
+                "ring4",
+                ring_topology(4),
+                sends=(Send(1, "g1", 0), Send(2, "g2", 0), Send(3, "g3", 1)),
+            ),
+            case(
+                "chain3",
+                chain_topology(3),
+                sends=(Send(1, "g1", 0), Send(2, "g2", 0), Send(4, "g3", 1)),
+            ),
+            case(
+                "hub3",
+                hub_topology(3),
+                sends=(Send(2, "g1", 0), Send(3, "g2", 0), Send(4, "g3", 0)),
+            ),
+        ),
+        seeds=tuple(range(seeds)),
+        variants=("vanilla", "strict"),
+        max_rounds=max_rounds,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="run the built-in campaign smoke sweep",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process execution)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=2,
+        help="seeds per case (scenario count = 8 x seeds)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="directory to write manifest.json + results.jsonl into",
+    )
+    args = parser.parse_args(argv)
+
+    campaign = smoke_campaign(seeds=args.seeds)
+    report = run_campaign(campaign, workers=args.workers)
+
+    print(sweep_table(report.rows))
+    print()
+    summary = report.summary
+    print(
+        f"campaign {report.name!r} ({report.campaign_hash[:12]}): "
+        f"{summary['scenarios']} scenarios, {summary['ok']} ok, "
+        f"{summary['failed']} failed, {summary['delivered']} delivered, "
+        f"{summary['truncated']} truncated, "
+        f"{sum(summary['violations'].values())} property violations "
+        f"[{report.mode}, workers={report.workers}, "
+        f"{report.elapsed:.2f}s]"
+    )
+    if args.out:
+        paths = report.write(args.out)
+        print(f"wrote {paths['manifest']} and {paths['results']}")
+
+    bad = summary["failed"] + summary["violating_scenarios"] + summary["truncated"]
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Campaign reports: manifest + byte-stable results JSONL.
+
+A finished sweep is two artifacts:
+
+* ``manifest.json`` — the campaign's identity: name, grid hash, and the
+  ordered scenario list with per-spec content hashes.  Enough to replay
+  any row (or the whole sweep) without the code that built the grid.
+* ``results.jsonl`` — one meta line, one line per scenario row (in spec
+  order), one summary line; the same ``meta / body / summary`` layout as
+  the engine traces, readable with :func:`repro.metrics.read_jsonl`.
+
+Neither artifact records wall-clock times, worker counts or execution
+mode: those describe the machine, not the campaign, and keeping them
+out is what makes the files byte-identical across executors.  Timing
+lives on the in-memory :class:`CampaignReport` only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.workloads.spec import ScenarioSpec
+
+#: Bumped on breaking changes to the results/manifest layout.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything a finished sweep produced.
+
+    Attributes:
+        name: campaign name.
+        campaign_hash: content hash of the grid (empty for ad-hoc spec
+            lists).
+        specs: the expanded scenario specs, in execution order.
+        rows: one result row per spec, in the same order.
+        summary: the worker-count-independent aggregate
+            (:meth:`repro.metrics.sweep.SweepAggregator.summary`).
+        mode: ``"serial"`` or ``"process"`` — how this report was made.
+        workers: worker processes used (1 for serial).
+        elapsed: wall-clock seconds of the sweep.  Not serialized.
+    """
+
+    name: str
+    campaign_hash: str
+    specs: Tuple[ScenarioSpec, ...]
+    rows: Tuple[Dict[str, Any], ...]
+    summary: Dict[str, Any]
+    mode: str
+    workers: int
+    elapsed: float
+
+    # -- Row access -------------------------------------------------------
+
+    def ok_rows(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(r for r in self.rows if r.get("status") == "ok")
+
+    def failed_rows(self) -> Tuple[Dict[str, Any], ...]:
+        return tuple(r for r in self.rows if r.get("status") != "ok")
+
+    # -- Serialization ----------------------------------------------------
+
+    def manifest(self) -> Dict[str, Any]:
+        """The campaign's identity and scenario inventory."""
+        return {
+            "schema": CAMPAIGN_SCHEMA_VERSION,
+            "name": self.name,
+            "campaign_hash": self.campaign_hash,
+            "scenarios": [
+                {
+                    "index": index,
+                    "name": spec.name,
+                    "spec_hash": spec.spec_hash(),
+                    "spec": spec.to_json(),
+                }
+                for index, spec in enumerate(self.specs)
+            ],
+        }
+
+    def iter_results_jsonl(self) -> Iterator[str]:
+        """The results as JSONL lines: meta, rows, summary.
+
+        Deterministic by construction — rows are in spec order, keys are
+        sorted, and nothing machine-specific is included — so serial and
+        parallel sweeps of the same campaign serialize byte-identically.
+        """
+        yield json.dumps(
+            {
+                "type": "meta",
+                "schema": CAMPAIGN_SCHEMA_VERSION,
+                "name": self.name,
+                "campaign_hash": self.campaign_hash,
+                "scenarios": len(self.specs),
+            },
+            sort_keys=True,
+        )
+        for row in self.rows:
+            body = dict(row)
+            body["type"] = "row"
+            yield json.dumps(body, sort_keys=True, default=str)
+        summary = dict(self.summary)
+        summary["type"] = "summary"
+        yield json.dumps(summary, sort_keys=True)
+
+    def results_jsonl(self) -> str:
+        """The whole results file as one string (byte-identity checks)."""
+        return "\n".join(self.iter_results_jsonl()) + "\n"
+
+    def write(self, directory: str) -> Dict[str, str]:
+        """Write ``manifest.json`` + ``results.jsonl`` into ``directory``.
+
+        Returns the paths written, keyed by artifact name.
+        """
+        os.makedirs(directory, exist_ok=True)
+        manifest_path = os.path.join(directory, "manifest.json")
+        results_path = os.path.join(directory, "results.jsonl")
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(self.manifest(), fh, sort_keys=True, indent=2, default=str)
+            fh.write("\n")
+        with open(results_path, "w", encoding="utf-8") as fh:
+            for line in self.iter_results_jsonl():
+                fh.write(line + "\n")
+        return {"manifest": manifest_path, "results": results_path}

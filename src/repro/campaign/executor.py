@@ -1,0 +1,151 @@
+"""Campaign execution: fan scenarios out, stream rows back, in order.
+
+The executor maps frozen :class:`repro.workloads.spec.ScenarioSpec`
+values over worker processes (:class:`concurrent.futures.ProcessPoolExecutor`)
+or runs them in-process (``mode="serial"`` — the debugging path and the
+byte-identity reference).  Both paths funnel every scenario through the
+same module-level :func:`execute_spec`, so a serial and a parallel sweep
+of the same campaign produce byte-identical rows.
+
+Two invariants the rest of the subsystem leans on:
+
+* **Failure isolation** — a scenario that raises becomes a
+  ``status="failed"`` row carrying the exception and traceback; the
+  sweep continues.  Only the executor machinery itself (a broken pool,
+  an unpicklable spec) propagates.
+* **Deterministic ordering** — rows are emitted in spec order no matter
+  which worker finished first (``Executor.map`` preserves submission
+  order), so results files are byte-stable across worker counts.
+
+``execute_spec`` being a module-level function of a picklable argument
+is what keeps the pool start-method agnostic: it works under ``fork``
+as well as the spawn semantics Windows and macOS default to.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.campaign.aggregate import CampaignReport
+from repro.campaign.grid import Campaign
+from repro.metrics.sweep import SweepAggregator
+from repro.workloads.runner import run_scenario
+from repro.workloads.spec import ScenarioSpec
+
+#: Execution modes of :func:`run_campaign`.
+MODES = ("serial", "process")
+
+
+def execute_spec(task: Tuple[int, ScenarioSpec]) -> Dict[str, Any]:
+    """Run one indexed spec; never raises for scenario-level failures.
+
+    This is the single code path both executor modes use (and the unit a
+    worker process receives).  A raising scenario is converted into a
+    ``status="failed"`` row that still self-describes its spec, so one
+    bad grid point cannot take down a sweep.
+    """
+    index, spec = task
+    try:
+        row = run_scenario(spec).to_row()
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        row = {
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "status": "failed",
+            "error": repr(exc),
+            "traceback": traceback.format_exc(),
+            "spec": spec.to_json(),
+        }
+    row["index"] = index
+    return row
+
+
+def iter_campaign_rows(
+    specs: Sequence[ScenarioSpec],
+    *,
+    workers: int = 1,
+    mp_context: Optional[object] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Stream result rows in spec order.
+
+    With ``workers <= 1`` the specs run serially in-process; otherwise a
+    process pool executes them while this generator yields whatever is
+    ready, still in submission order.
+    """
+    tasks = list(enumerate(specs))
+    if workers <= 1:
+        for task in tasks:
+            yield execute_spec(task)
+        return
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context
+    ) as pool:
+        chunksize = max(1, len(tasks) // (workers * 4))
+        for row in pool.map(execute_spec, tasks, chunksize=chunksize):
+            yield row
+
+
+def run_campaign(
+    campaign: Union[Campaign, Sequence[ScenarioSpec]],
+    *,
+    workers: int = 1,
+    mode: Optional[str] = None,
+    mp_context: Optional[object] = None,
+    on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> CampaignReport:
+    """Execute a campaign (or a bare spec list) and aggregate the rows.
+
+    Args:
+        campaign: a :class:`Campaign` grid, or an already-expanded
+            sequence of :class:`ScenarioSpec` values.
+        workers: worker processes for ``mode="process"``.
+        mode: ``"serial"`` or ``"process"``; default is serial for
+            ``workers <= 1`` and a process pool otherwise.
+        mp_context: optional :mod:`multiprocessing` context (e.g.
+            ``multiprocessing.get_context("spawn")``) for the pool.
+        on_row: optional callback invoked with each row as it streams
+            in (progress reporting).
+
+    Returns:
+        a :class:`CampaignReport` whose rows are in spec order and
+        whose aggregate summary is independent of ``workers``.
+    """
+    if isinstance(campaign, Campaign):
+        name = campaign.name
+        campaign_hash = campaign.campaign_hash()
+        specs = campaign.specs()
+    else:
+        specs = tuple(campaign)
+        name = "adhoc"
+        campaign_hash = ""
+    if mode is None:
+        mode = "process" if workers > 1 else "serial"
+    if mode not in MODES:
+        raise ValueError(f"unknown campaign mode {mode!r}; pick from {MODES}")
+    effective_workers = workers if mode == "process" else 1
+
+    aggregator = SweepAggregator()
+    rows = []
+    started = time.perf_counter()
+    for row in iter_campaign_rows(
+        specs, workers=effective_workers, mp_context=mp_context
+    ):
+        aggregator.add(row)
+        rows.append(row)
+        if on_row is not None:
+            on_row(row)
+    elapsed = time.perf_counter() - started
+
+    return CampaignReport(
+        name=name,
+        campaign_hash=campaign_hash,
+        specs=specs,
+        rows=tuple(rows),
+        summary=aggregator.summary(),
+        mode=mode,
+        workers=effective_workers,
+        elapsed=elapsed,
+    )

@@ -1,0 +1,192 @@
+"""Declarative scenario grids.
+
+A :class:`Campaign` describes a sweep as data: a set of *cases* — each
+binding a topology to a failure pattern and a send script, the three
+axes that must agree on process indices — crossed with independent grids
+over the scalar axes (seeds, protocol variants, detector lags,
+scheduling modes).  :meth:`Campaign.specs` expands the grid into frozen
+:class:`repro.workloads.spec.ScenarioSpec` values in a deterministic
+order, so the same campaign always produces the same scenario list, the
+same content hashes and — executed by :func:`repro.campaign.run_campaign`
+— byte-identical results regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.groups.topology import GroupTopology
+from repro.model.failures import FailurePattern, Time
+from repro.workloads.runner import Send
+from repro.workloads.spec import ScenarioSpec, TopologySpec
+
+
+@dataclass(frozen=True)
+class CampaignCase:
+    """One (topology, failure pattern, send script) binding.
+
+    These three travel together because they share a frame of
+    reference: crash times and sender indices only mean something
+    relative to a specific topology.
+
+    Attributes:
+        label: case name, prefixed onto every derived scenario's label.
+        topology: the destination groups.
+        crashes: ``(process index, crash time)`` pairs.
+        sends: the scripted multicasts.
+    """
+
+    label: str
+    topology: TopologySpec
+    crashes: Tuple[Tuple[int, Time], ...] = ()
+    sends: Tuple[Send, ...] = ()
+
+
+def case(
+    label: str,
+    topology: Union[GroupTopology, TopologySpec],
+    pattern: Optional[FailurePattern] = None,
+    sends: Sequence[Send] = (),
+    crashes: Sequence[Tuple[int, Time]] = (),
+) -> CampaignCase:
+    """Build a :class:`CampaignCase` from live objects or plain data.
+
+    ``pattern`` (a live :class:`FailurePattern`) and ``crashes`` (raw
+    index/time pairs) are alternative spellings of the failure axis;
+    passing both is a contradiction and raises :class:`ValueError`.
+    """
+    if pattern is not None and crashes:
+        raise ValueError("pass either pattern or crashes, not both")
+    if isinstance(topology, GroupTopology):
+        topology = TopologySpec.capture(topology)
+    if pattern is not None:
+        crashes = tuple(
+            sorted((p.index, t) for p, t in pattern.crash_times.items())
+        )
+    return CampaignCase(
+        label=label,
+        topology=topology,
+        crashes=tuple(sorted(tuple(pair) for pair in crashes)),
+        sends=tuple(sends),
+    )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative grid of scenarios.
+
+    The expansion order is the nested product, outermost to innermost:
+    cases x seeds x variants x gamma_lags x indicator_lags x
+    schedulings.  Every expanded spec gets a deterministic label of the
+    form ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>]``
+    (non-default axes only, keeping labels short on simple sweeps).
+
+    Attributes:
+        name: campaign name, recorded in manifests and result files.
+        cases: the bound (topology, failures, sends) scenarios.
+        seeds: engine seeds to sweep.
+        variants: protocol variants to sweep.
+        gamma_lags / indicator_lags: detector lags to sweep.
+        schedulings: engine scheduling modes to sweep.
+        max_rounds: round budget shared by every scenario.
+    """
+
+    name: str
+    cases: Tuple[CampaignCase, ...]
+    seeds: Tuple[int, ...] = (0,)
+    variants: Tuple[str, ...] = ("vanilla",)
+    gamma_lags: Tuple[Time, ...] = (0,)
+    indicator_lags: Tuple[Time, ...] = (0,)
+    schedulings: Tuple[str, ...] = ("event",)
+    max_rounds: int = 600
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise ValueError("a campaign needs at least one case")
+        for axis in ("seeds", "variants", "gamma_lags", "indicator_lags", "schedulings"):
+            if not getattr(self, axis):
+                raise ValueError(f"campaign axis {axis!r} must be non-empty")
+
+    def specs(self) -> Tuple[ScenarioSpec, ...]:
+        """Expand the grid into frozen scenario specs, in grid order."""
+        expanded = []
+        for kase in self.cases:
+            for seed in self.seeds:
+                for variant in self.variants:
+                    for gamma_lag in self.gamma_lags:
+                        for indicator_lag in self.indicator_lags:
+                            for scheduling in self.schedulings:
+                                expanded.append(
+                                    ScenarioSpec(
+                                        topology=kase.topology,
+                                        crashes=kase.crashes,
+                                        sends=kase.sends,
+                                        seed=seed,
+                                        variant=variant,
+                                        gamma_lag=gamma_lag,
+                                        indicator_lag=indicator_lag,
+                                        max_rounds=self.max_rounds,
+                                        scheduling=scheduling,
+                                        name=self._label(
+                                            kase.label,
+                                            seed,
+                                            variant,
+                                            gamma_lag,
+                                            indicator_lag,
+                                            scheduling,
+                                        ),
+                                    )
+                                )
+        return tuple(expanded)
+
+    def _label(
+        self,
+        base: str,
+        seed: int,
+        variant: str,
+        gamma_lag: Time,
+        indicator_lag: Time,
+        scheduling: str,
+    ) -> str:
+        parts = [base, f"s{seed}", variant]
+        if len(self.gamma_lags) > 1 or gamma_lag:
+            parts.append(f"g{gamma_lag}")
+        if len(self.indicator_lags) > 1 or indicator_lag:
+            parts.append(f"i{indicator_lag}")
+        if len(self.schedulings) > 1 or scheduling != "event":
+            parts.append(scheduling)
+        return ":".join(parts)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The campaign as a JSON-ready dict (manifest material)."""
+        return {
+            "name": self.name,
+            "cases": [
+                {
+                    "label": kase.label,
+                    "topology": kase.topology.to_json(),
+                    "crashes": [list(pair) for pair in kase.crashes],
+                    "sends": [
+                        [s.sender, s.group, s.at_round, s.payload]
+                        for s in kase.sends
+                    ],
+                }
+                for kase in self.cases
+            ],
+            "seeds": list(self.seeds),
+            "variants": list(self.variants),
+            "gamma_lags": list(self.gamma_lags),
+            "indicator_lags": list(self.indicator_lags),
+            "schedulings": list(self.schedulings),
+            "max_rounds": self.max_rounds,
+        }
+
+    def campaign_hash(self) -> str:
+        """Content address of the whole grid (sha256 hex)."""
+        canonical = json.dumps(
+            self.to_json(), sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -111,6 +111,10 @@ class MulticastSystem:
         self.time: Time = 0
         self.record = RunRecord(topology.processes, pattern)
         self.tracer = TraceRecorder()
+        #: Whether the most recent :meth:`run` ended in quiescence (True)
+        #: or by exhausting its round budget (False).  True before any
+        #: :meth:`run` call — nothing has been cut short yet.
+        self.last_run_quiescent: bool = True
         #: Processes able to respond to quorum requests *right now*:
         #: the alive processes within the current participation set.
         self._active: FrozenSet[ProcessId] = frozenset(
@@ -380,15 +384,18 @@ class MulticastSystem:
         """
         idle = 0
         rounds = 0
+        quiescent = False
         while rounds < max_rounds:
             fired = self.tick(participation)
             rounds += 1
             if fired == 0 and self.time >= self.settle_horizon():
                 idle += 1
                 if idle >= quiescent_rounds:
+                    quiescent = True
                     break
             else:
                 idle = 0
+        self.last_run_quiescent = quiescent
         return rounds
 
     # -- Inspection ----------------------------------------------------------------

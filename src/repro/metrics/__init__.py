@@ -7,6 +7,11 @@ from repro.metrics.summary import (
     steps_at,
     summarize,
 )
+from repro.metrics.sweep import (
+    SweepAggregator,
+    summarize_rows,
+    sweep_table,
+)
 from repro.metrics.trace import (
     TRACE_SCHEMA_VERSION,
     WAIT_CONSENSUS,
@@ -26,6 +31,9 @@ __all__ = [
     "latency_of",
     "steps_at",
     "summarize",
+    "SweepAggregator",
+    "summarize_rows",
+    "sweep_table",
     "TRACE_SCHEMA_VERSION",
     "WAIT_CONSENSUS",
     "WAIT_GAMMA",

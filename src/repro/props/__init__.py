@@ -1,5 +1,11 @@
 """Executable correctness properties of atomic multicast (§2, §6, §7)."""
 
+from repro.props.batch import (
+    BATCH_CHECKS,
+    batch_verdicts,
+    variant_checks,
+    verdicts_ok,
+)
 from repro.props.checkers import (
     assert_run_ok,
     check_group_parallelism,
@@ -17,6 +23,10 @@ from repro.props.relations import (
 )
 
 __all__ = [
+    "BATCH_CHECKS",
+    "batch_verdicts",
+    "variant_checks",
+    "verdicts_ok",
     "assert_run_ok",
     "check_group_parallelism",
     "check_integrity",

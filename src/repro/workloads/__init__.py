@@ -1,6 +1,7 @@
 """Workload generation: topologies, send scripts and the scenario runner."""
 
 from repro.workloads.runner import ScenarioResult, Send, random_sends, run_scenario
+from repro.workloads.spec import ScenarioSpec, TopologySpec
 from repro.workloads.topologies import (
     chain_topology,
     disjoint_topology,
@@ -11,7 +12,9 @@ from repro.workloads.topologies import (
 
 __all__ = [
     "ScenarioResult",
+    "ScenarioSpec",
     "Send",
+    "TopologySpec",
     "random_sends",
     "run_scenario",
     "chain_topology",

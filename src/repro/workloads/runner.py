@@ -6,13 +6,26 @@ wires an :class:`repro.core.AtomicMulticast` deployment, interleaves the
 sends with execution rounds (so multicasts race each other and crashes),
 runs to quiescence and returns the :class:`repro.model.RunRecord` plus the
 message objects, ready for the property checkers.
+
+The primary entry point is the *spec form*::
+
+    spec = ScenarioSpec.capture(topology, pattern, sends, seed=3)
+    result = run_scenario(spec)
+
+A :class:`repro.workloads.spec.ScenarioSpec` is a frozen, hashable value
+object, so scenarios can be stored, hashed, shipped to worker processes
+and replayed (see :mod:`repro.campaign`).  The legacy form
+``run_scenario(topology, pattern, sends, ...)`` remains as a shim whose
+tuning parameters are keyword-only; passing them positionally emits a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import MulticastSystem
 from repro.core.group_sequential import AtomicMulticast
@@ -21,6 +34,7 @@ from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
+from repro.workloads.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -31,7 +45,8 @@ class Send:
         sender: 1-based process index (must belong to the group).
         group: destination group name.
         at_round: engine round at which the multicast is issued.
-        payload: optional application payload.
+        payload: optional application payload (keep it a JSON scalar if
+            the enclosing spec must round-trip through JSON).
     """
 
     sender: int
@@ -45,12 +60,18 @@ class ScenarioResult:
     """Everything a test needs to judge a finished run.
 
     Attributes:
+        spec: the :class:`ScenarioSpec` that produced this result — a
+            result self-describes the scenario behind it.
         skipped_sends: sends whose sender was already crashed at their
             round — legitimately impossible, not a runner failure.
         unsent_sends: sends never issued because ``max_rounds`` ran out
             before their round was reached.  A truncated script proves
             nothing, so :meth:`delivered_everywhere` refuses success
             while this list is non-empty.
+        truncated: True when the run ended because the round budget ran
+            out rather than because the system went quiescent — either
+            sends were left unissued (``unsent_sends``) or the drain
+            phase was cut short.  A truncated run proves nothing.
     """
 
     record: RunRecord
@@ -60,50 +81,203 @@ class ScenarioResult:
     rounds: int
     skipped_sends: List[Send] = field(default_factory=list)
     unsent_sends: List[Send] = field(default_factory=list)
+    spec: Optional[ScenarioSpec] = None
+    truncated: bool = False
 
     def delivered_everywhere(self) -> bool:
-        if self.unsent_sends:
+        if self.unsent_sends or self.truncated:
             return False
         return all(
             self.system.everyone_delivered(m) for m in self.messages
         )
 
+    def to_row(self) -> Dict[str, Any]:
+        """The result as one flat, JSON-ready sweep row.
+
+        The row carries the spec (and its content hash) next to the
+        outcome — delivery verdict, rounds, truncation, send accounting,
+        the engine's trace totals and the §2.2 property verdicts — so a
+        results file is self-contained: every row names the scenario
+        that produced it and can be replayed from the row alone.
+        """
+        from repro.props.batch import batch_verdicts, variant_checks
+
+        trace = self.system.tracer.summary()
+        row: Dict[str, Any] = {
+            "name": self.spec.name if self.spec else "",
+            "spec_hash": self.spec.spec_hash() if self.spec else None,
+            "status": "ok",
+            "delivered_everywhere": self.delivered_everywhere(),
+            "truncated": self.truncated,
+            "rounds": self.rounds,
+            "messages": len(self.messages),
+            "skipped_sends": len(self.skipped_sends),
+            "unsent_sends": len(self.unsent_sends),
+            "deliveries": len(self.record.deliveries),
+            "verdicts": batch_verdicts(
+                self.record,
+                extra=variant_checks(self.spec.variant if self.spec else ""),
+            ),
+            "trace": {
+                "eligible": trace["eligible"],
+                "scanned": trace["scanned"],
+                "actions": trace["actions"],
+                "quorum_stalls": trace["quorum_stalls"],
+            },
+            "spec": self.spec.to_json() if self.spec else None,
+        }
+        return row
+
+
+#: Legacy positional order of the tuning parameters (after the three
+#: scenario-defining positionals); used by the deprecation shim.
+_TUNING_ORDER = (
+    "seed",
+    "variant",
+    "gamma_lag",
+    "indicator_lag",
+    "max_rounds",
+    "scheduling",
+    "trace_path",
+)
+
+_UNSET = object()
+
 
 def run_scenario(
-    topology: GroupTopology,
-    pattern: FailurePattern,
-    sends: Sequence[Send],
-    seed: int = 0,
-    variant: str = "vanilla",
-    gamma_lag: Time = 0,
-    indicator_lag: Time = 0,
-    max_rounds: int = 600,
-    scheduling: str = "event",
+    spec: Union[ScenarioSpec, GroupTopology],
+    pattern: Optional[FailurePattern] = None,
+    sends: Optional[Sequence[Send]] = None,
+    *legacy_tuning: object,
+    seed: object = _UNSET,
+    variant: object = _UNSET,
+    gamma_lag: object = _UNSET,
+    indicator_lag: object = _UNSET,
+    max_rounds: object = _UNSET,
+    scheduling: object = _UNSET,
     trace_path: Optional[str] = None,
 ) -> ScenarioResult:
     """Execute a scripted scenario to quiescence.
 
+    Primary form: ``run_scenario(spec)`` where ``spec`` is a
+    :class:`ScenarioSpec`; ``trace_path`` is the only other accepted
+    argument (it is an output sink, not part of the scenario).
+
+    Legacy form: ``run_scenario(topology, pattern, sends, ...)`` with
+    every tuning parameter keyword-only.  Passing tuning parameters
+    positionally still works but emits a :class:`DeprecationWarning`.
+
     Sends whose sender is already crashed at their round are skipped and
     reported in ``skipped_sends`` (a crashed process cannot multicast).
     Sends still waiting for their round when ``max_rounds`` runs out are
-    reported in ``unsent_sends`` — they were never issued, which makes
-    the run truncated rather than complete.
+    reported in ``unsent_sends``, and a run whose drain phase exhausts
+    the budget before quiescence is flagged ``truncated`` — in both
+    cases the run proves nothing and ``delivered_everywhere()`` refuses
+    success.
 
     When ``trace_path`` is given, the engine's per-round trace is
     written there as JSONL (see :mod:`repro.metrics.trace`) after the
     run finishes.
     """
+    supplied = {
+        key: value
+        for key, value in (
+            ("seed", seed),
+            ("variant", variant),
+            ("gamma_lag", gamma_lag),
+            ("indicator_lag", indicator_lag),
+            ("max_rounds", max_rounds),
+            ("scheduling", scheduling),
+        )
+        if value is not _UNSET
+    }
+
+    if isinstance(spec, ScenarioSpec):
+        if pattern is not None or sends is not None or legacy_tuning:
+            raise TypeError(
+                "run_scenario(spec) takes no further positional arguments"
+            )
+        if supplied:
+            raise TypeError(
+                "run_scenario(spec) does not accept tuning overrides "
+                f"({sorted(supplied)}); derive a new spec with "
+                "dataclasses.replace instead"
+            )
+        return _execute(spec, trace_path=trace_path)
+
+    # -- Legacy shim ------------------------------------------------------
+    topology = spec
+    if pattern is None or sends is None:
+        raise TypeError(
+            "legacy run_scenario(topology, pattern, sends, ...) needs all "
+            "three scenario arguments (or pass a single ScenarioSpec)"
+        )
+    if legacy_tuning:
+        if len(legacy_tuning) > len(_TUNING_ORDER):
+            raise TypeError(
+                f"run_scenario takes at most {3 + len(_TUNING_ORDER)} "
+                f"positional arguments ({3 + len(legacy_tuning)} given)"
+            )
+        positional = dict(zip(_TUNING_ORDER, legacy_tuning))
+        warnings.warn(
+            "passing run_scenario tuning parameters "
+            f"({', '.join(positional)}) positionally is deprecated; "
+            "pass them as keywords or use the ScenarioSpec form",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        clash = set(positional) & set(supplied)
+        if clash:
+            raise TypeError(
+                f"run_scenario got multiple values for {sorted(clash)}"
+            )
+        if "trace_path" in positional:
+            if trace_path is not None:
+                raise TypeError(
+                    "run_scenario got multiple values for ['trace_path']"
+                )
+            trace_path = positional.pop("trace_path")  # type: ignore[assignment]
+        supplied.update(positional)
+
+    built = ScenarioSpec.capture(
+        topology,
+        pattern,
+        sends,
+        seed=supplied.get("seed", 0),  # type: ignore[arg-type]
+        variant=supplied.get("variant", "vanilla"),  # type: ignore[arg-type]
+        gamma_lag=supplied.get("gamma_lag", 0),  # type: ignore[arg-type]
+        indicator_lag=supplied.get("indicator_lag", 0),  # type: ignore[arg-type]
+        max_rounds=supplied.get("max_rounds", 600),  # type: ignore[arg-type]
+        scheduling=supplied.get("scheduling", "event"),  # type: ignore[arg-type]
+    )
+    return _execute(
+        built, trace_path=trace_path, topology=topology, pattern=pattern
+    )
+
+
+def _execute(
+    spec: ScenarioSpec,
+    trace_path: Optional[str] = None,
+    topology: Optional[GroupTopology] = None,
+    pattern: Optional[FailurePattern] = None,
+) -> ScenarioResult:
+    """Run one spec.  Legacy callers pass their live topology/pattern so
+    object identity is preserved; the spec form rebuilds them."""
+    if topology is None:
+        topology = spec.build_topology()
+    if pattern is None:
+        pattern = spec.build_pattern()
     system = MulticastSystem(
         topology,
         pattern,
-        variant=variant,
-        gamma_lag=gamma_lag,
-        indicator_lag=indicator_lag,
-        seed=seed,
-        scheduling=scheduling,
+        variant=spec.variant,
+        gamma_lag=spec.gamma_lag,
+        indicator_lag=spec.indicator_lag,
+        seed=spec.seed,
+        scheduling=spec.scheduling,
     )
     multicaster = AtomicMulticast(system)
-    pending = sorted(sends, key=lambda s: s.at_round)
+    pending = sorted(spec.sends, key=lambda s: s.at_round)
     messages: List[MulticastMessage] = []
     skipped: List[Send] = []
     rounds = 0
@@ -124,20 +298,25 @@ def run_scenario(
             break
         system.tick()
         rounds += 1
-        if rounds >= max_rounds:
+        if rounds >= spec.max_rounds:
             break
     unsent = list(pending[cursor:])
-    rounds += multicaster.run(max_rounds=max_rounds - rounds)
+    # The issue loop may have consumed the entire budget; the drain gets
+    # whatever is left, never a negative allowance.
+    budget = max(0, spec.max_rounds - rounds)
+    rounds += multicaster.run(max_rounds=budget)
+    truncated = bool(unsent) or not system.last_run_quiescent
     if trace_path is not None:
         system.tracer.write_jsonl(
             trace_path,
             meta={
                 "topology": repr(topology),
                 "pattern": str(pattern),
-                "seed": seed,
-                "variant": variant,
-                "scheduling": scheduling,
-                "sends": len(sends),
+                "seed": spec.seed,
+                "variant": spec.variant,
+                "scheduling": spec.scheduling,
+                "spec_hash": spec.spec_hash(),
+                "sends": len(spec.sends),
                 "rounds": rounds,
             },
         )
@@ -149,6 +328,8 @@ def run_scenario(
         rounds=rounds,
         skipped_sends=skipped,
         unsent_sends=unsent,
+        spec=spec,
+        truncated=truncated,
     )
 
 

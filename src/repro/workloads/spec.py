@@ -1,0 +1,231 @@
+"""Scenario specifications: a run described as a *value*.
+
+``run_scenario`` grew one positional parameter per PR until a scenario
+could only be described by an argument list — impossible to hash, store
+in a manifest, or ship to a worker process.  A :class:`ScenarioSpec`
+fixes that: it captures **everything that determines a run** (topology,
+failure pattern, send script, seed, variant, detector lags, round
+budget, scheduling mode) as a frozen, hashable, JSON-round-trippable
+dataclass.  Two specs that compare equal describe byte-identical runs;
+:meth:`ScenarioSpec.spec_hash` is the stable content address the
+campaign subsystem keys its manifests and result rows on.
+
+Deliberately *not* part of a spec: output sinks such as
+``trace_path``.  Where a trace lands does not change what the scenario
+is, and the hash must identify the scenario, not the filesystem of the
+machine that ran it.
+
+Payloads inside :class:`repro.workloads.runner.Send` instructions
+should be JSON scalars (strings, numbers, booleans, ``None``) so the
+spec survives the JSON round trip unchanged; richer payloads still run
+but will not round-trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Sequence, Tuple
+
+from repro.groups.topology import GroupTopology, topology_from_indices
+from repro.model.failures import FailurePattern, Time
+from repro.model.processes import ProcessId, make_processes, pset
+
+#: Bumped on breaking changes to the spec JSON layout.
+SPEC_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A destination-group topology as plain data.
+
+    Attributes:
+        process_count: size of the process universe ``P``.
+        groups: ``(name, member indices)`` pairs, sorted by name, each
+            member tuple sorted ascending — one canonical form per
+            topology, so equal topologies produce equal specs.
+    """
+
+    process_count: int
+    groups: Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+    @classmethod
+    def capture(cls, topology: GroupTopology) -> "TopologySpec":
+        """Extract the spec of a live :class:`GroupTopology`."""
+        return cls(
+            process_count=max(p.index for p in topology.processes),
+            groups=tuple(
+                sorted(
+                    (g.name, tuple(p.index for p in sorted(g.members)))
+                    for g in topology.groups
+                )
+            ),
+        )
+
+    def build(self) -> GroupTopology:
+        """Reconstruct the live topology this spec describes."""
+        return topology_from_indices(
+            self.process_count, {name: list(members) for name, members in self.groups}
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "process_count": self.process_count,
+            "groups": {name: list(members) for name, members in self.groups},
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(
+            process_count=int(data["process_count"]),
+            groups=tuple(
+                sorted(
+                    (name, tuple(int(i) for i in members))
+                    for name, members in data["groups"].items()
+                )
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that determines one ``run_scenario`` execution.
+
+    Attributes:
+        topology: the destination groups, as a :class:`TopologySpec`.
+        crashes: ``(process index, crash time)`` pairs, sorted — the
+            failure pattern of the run.
+        sends: the scripted multicasts (see
+            :class:`repro.workloads.runner.Send`).
+        seed: engine scheduling seed.
+        variant: protocol variant (``"vanilla"``, ``"strict"``, ...).
+        gamma_lag: detection lag of the gamma oracle.
+        indicator_lag: detection lag of the intersection indicators.
+        max_rounds: total round budget (script issuance + drain).
+        scheduling: engine scheduling mode (``"event"`` or ``"scan"``).
+        name: free-form label for reports.  Excluded from equality and
+            from :meth:`spec_hash` — a label is not part of the
+            scenario's identity.
+    """
+
+    topology: TopologySpec
+    crashes: Tuple[Tuple[int, Time], ...] = ()
+    sends: Tuple["Send", ...] = ()
+    seed: int = 0
+    variant: str = "vanilla"
+    gamma_lag: Time = 0
+    indicator_lag: Time = 0
+    max_rounds: int = 600
+    scheduling: str = "event"
+    name: str = field(default="", compare=False)
+
+    # -- Construction -----------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        topology: GroupTopology,
+        pattern: FailurePattern,
+        sends: Sequence["Send"] = (),
+        *,
+        seed: int = 0,
+        variant: str = "vanilla",
+        gamma_lag: Time = 0,
+        indicator_lag: Time = 0,
+        max_rounds: int = 600,
+        scheduling: str = "event",
+        name: str = "",
+    ) -> "ScenarioSpec":
+        """Extract a spec from the live objects a legacy call passes."""
+        return cls(
+            topology=TopologySpec.capture(topology),
+            crashes=tuple(
+                sorted((p.index, t) for p, t in pattern.crash_times.items())
+            ),
+            sends=tuple(sends),
+            seed=seed,
+            variant=variant,
+            gamma_lag=gamma_lag,
+            indicator_lag=indicator_lag,
+            max_rounds=max_rounds,
+            scheduling=scheduling,
+            name=name,
+        )
+
+    def labelled(self, name: str) -> "ScenarioSpec":
+        """The same scenario under a different report label."""
+        return replace(self, name=name)
+
+    # -- Reconstruction ----------------------------------------------------
+
+    def build_topology(self) -> GroupTopology:
+        return self.topology.build()
+
+    def build_pattern(self) -> FailurePattern:
+        processes = pset(make_processes(self.topology.process_count))
+        return FailurePattern(
+            processes,
+            {ProcessId(index): when for index, when in self.crashes},
+        )
+
+    # -- Serialization -----------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-ready dict; inverse of :meth:`from_json`."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "topology": self.topology.to_json(),
+            "crashes": [[index, when] for index, when in self.crashes],
+            "sends": [
+                [s.sender, s.group, s.at_round, s.payload] for s in self.sends
+            ],
+            "seed": self.seed,
+            "variant": self.variant,
+            "gamma_lag": self.gamma_lag,
+            "indicator_lag": self.indicator_lag,
+            "max_rounds": self.max_rounds,
+            "scheduling": self.scheduling,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        from repro.workloads.runner import Send
+
+        return cls(
+            topology=TopologySpec.from_json(data["topology"]),
+            crashes=tuple(
+                sorted((int(i), int(t)) for i, t in data["crashes"])
+            ),
+            sends=tuple(
+                Send(
+                    sender=int(sender),
+                    group=group,
+                    at_round=int(at_round),
+                    payload=payload,
+                )
+                for sender, group, at_round, payload in data["sends"]
+            ),
+            seed=int(data["seed"]),
+            variant=data["variant"],
+            gamma_lag=int(data["gamma_lag"]),
+            indicator_lag=int(data["indicator_lag"]),
+            max_rounds=int(data["max_rounds"]),
+            scheduling=data["scheduling"],
+            name=data.get("name", ""),
+        )
+
+    def spec_hash(self) -> str:
+        """Content address of the scenario (sha256 hex).
+
+        The label (``name``) is excluded: renaming a scenario must not
+        change its identity, and deduplication across campaigns relies
+        on that.
+        """
+        body = self.to_json()
+        body.pop("name", None)
+        canonical = json.dumps(
+            body, sort_keys=True, separators=(",", ":"), default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

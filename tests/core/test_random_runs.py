@@ -14,6 +14,7 @@ from repro.props import (
     check_termination,
 )
 from repro.workloads import (
+    ScenarioSpec,
     chain_topology,
     disjoint_topology,
     hub_topology,
@@ -52,7 +53,7 @@ def test_random_topology_runs_satisfy_all_properties(
     topology = random_topology(topo_seed)
     pattern = crash_schedule(topology, crash_indices, crash_time)
     sends = random_sends(topology, send_count, seed=seed)
-    result = run_scenario(topology, pattern, sends, seed=seed)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=seed))
     assert_run_ok(result.record)
 
 
@@ -67,7 +68,7 @@ def test_ring_runs_satisfy_all_properties(k, seed, victim, crash_time):
     topology = ring_topology(k)
     pattern = crash_schedule(topology, {victim % k}, crash_time)
     sends = random_sends(topology, 8, seed=seed)
-    result = run_scenario(topology, pattern, sends, seed=seed)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=seed))
     assert_run_ok(result.record)
 
 
@@ -80,7 +81,7 @@ def test_chain_runs_satisfy_all_properties(k, seed):
     topology = chain_topology(k)
     sends = random_sends(topology, 8, seed=seed)
     pattern = crash_schedule(topology, set(), 0)
-    result = run_scenario(topology, pattern, sends, seed=seed)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=seed))
     assert_run_ok(result.record)
     assert result.delivered_everywhere()
 
@@ -94,7 +95,7 @@ def test_hub_runs_with_crashes(seed, crash_indices):
     topology = hub_topology(4)
     pattern = crash_schedule(topology, crash_indices, crash_time=3)
     sends = random_sends(topology, 6, seed=seed)
-    result = run_scenario(topology, pattern, sends, seed=seed)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=seed))
     assert_run_ok(result.record)
 
 
@@ -104,7 +105,7 @@ def test_disjoint_runs_are_embarrassingly_parallel(seed):
     topology = disjoint_topology(3, group_size=2)
     pattern = crash_schedule(topology, set(), 0)
     sends = random_sends(topology, 9, seed=seed)
-    result = run_scenario(topology, pattern, sends, seed=seed)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=seed))
     assert_run_ok(result.record)
     # Only processes of groups that actually received traffic take steps.
     touched = set()
@@ -120,7 +121,7 @@ def test_every_checker_is_exercised_once():
     topology = ring_topology(4)
     pattern = crash_schedule(topology, {1}, 4)
     sends = random_sends(topology, 6, seed=13)
-    result = run_scenario(topology, pattern, sends, seed=13)
+    result = run_scenario(ScenarioSpec.capture(topology, pattern, sends, seed=13))
     assert check_integrity(result.record) == []
     assert check_termination(result.record) == []
     assert check_ordering(result.record) == []

@@ -8,7 +8,7 @@ from repro.metrics import (
     read_jsonl,
 )
 from repro.model import failure_free, make_processes, pset
-from repro.workloads import Send, chain_topology, run_scenario
+from repro.workloads import ScenarioSpec, Send, chain_topology, run_scenario
 
 
 class TestRecorder:
@@ -82,13 +82,13 @@ class TestJsonl:
         topo = chain_topology(2)
         procs = make_processes(3)
         path = str(tmp_path / "run.jsonl")
-        result = run_scenario(
+        spec = ScenarioSpec.capture(
             topo,
             failure_free(pset(procs)),
             [Send(1, "g1", 0), Send(3, "g2", 2)],
             seed=4,
-            trace_path=path,
         )
+        result = run_scenario(spec, trace_path=path)
         assert result.delivered_everywhere()
         records = read_jsonl(path)
         assert records[0]["type"] == "meta"
