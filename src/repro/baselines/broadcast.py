@@ -16,14 +16,17 @@ overhead of the approach.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import random
+from typing import List, Tuple
 
 from repro.groups.topology import GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
+from repro.runtime import Scheduler, SystemActor
 
 
 class BroadcastMulticast:
@@ -39,10 +42,27 @@ class BroadcastMulticast:
         self.topology = topology
         self.pattern = pattern
         self.record = RunRecord(topology.processes, pattern)
+        self.tracer = TraceRecorder()
         self.factory = MessageFactory()
-        self.time: Time = 0
         self._order: List[MulticastMessage] = []
         self._delivered_upto = 0
+        # One global sequencer actor: each round drains one slot of the
+        # total order (the atomic-broadcast ring's decision granularity).
+        self._scheduler = Scheduler(
+            {"abcast": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
+
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
+    @property
+    def last_run_quiescent(self) -> bool:
+        return self._scheduler.last_run_quiescent
 
     def multicast(
         self, src: ProcessId, group: str, payload: object = None
@@ -62,26 +82,28 @@ class BroadcastMulticast:
         """Process the next message of the global order.
 
         Every alive process takes a step for it (the non-genuine cost);
-        destination members additionally deliver.
+        destination members additionally deliver.  Returns whether a
+        message was processed; the clock advances either way (a slot of
+        the broadcast ring elapses even when nothing was proposed).
         """
+        return self._scheduler.round() > 0
+
+    def _advance(self, t: Time) -> int:
         if self._delivered_upto >= len(self._order):
-            return False
-        self.time += 1
+            return 0
         message = self._order[self._delivered_upto]
         self._delivered_upto += 1
         for p in sorted(self.topology.processes):
-            if not self.pattern.is_alive(p, self.time):
+            if not self.pattern.is_alive(p, t):
                 continue
-            self.record.note_step(self.time, p, received="abcast.order")
+            self.record.note_step(t, p, received="abcast.order")
             if p in message.dst:
-                self.record.note_delivery(self.time, p, message)
-        return True
+                self.record.note_delivery(t, p, message)
+        return 1
 
     def run(self, max_rounds: int = 10_000) -> int:
-        rounds = 0
-        while rounds < max_rounds and self.tick():
-            rounds += 1
-        return rounds
+        """Drain the global order; quiescent after one empty slot."""
+        return self._scheduler.run(max_rounds, quiescent_rounds=1).rounds
 
     def delivered_at(self, p: ProcessId) -> Tuple[MulticastMessage, ...]:
         return self.record.local_order(p)

@@ -22,15 +22,18 @@ live, the protocol is genuine and orders correctly.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.groups.topology import GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError, TopologyError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId, ProcessSet, pset
 from repro.model.runs import RunRecord
+from repro.runtime import Scheduler, SystemActor
 
 #: A partitioned timestamp: (clock, partition index) — totally ordered.
 Stamp = Tuple[int, int]
@@ -79,11 +82,28 @@ class PartitionedMulticast:
                     f"group {g.name} is not a union of partitions"
                 )
         self.record = RunRecord(topology.processes, pattern)
+        self.tracer = TraceRecorder()
         self.factory = MessageFactory()
-        self.time: Time = 0
         self._clocks: List[int] = [0] * len(self.partitions)
         self._pending: Dict[object, _Pending] = {}
         self._delivered: Set[Tuple[ProcessId, object]] = set()
+        # One actor for the whole partition mesh; partition liveness is
+        # checked inside the phases (the "logically correct entity").
+        self._scheduler = Scheduler(
+            {"partitioned": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
+
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
+    @property
+    def last_run_quiescent(self) -> bool:
+        return self._scheduler.last_run_quiescent
 
     # -- Helpers ---------------------------------------------------------------------
 
@@ -120,7 +140,10 @@ class PartitionedMulticast:
     # -- Protocol ----------------------------------------------------------------------------
 
     def tick(self) -> int:
-        self.time += 1
+        """One protocol round (delegated to the shared scheduler)."""
+        return self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
         fired = 0
         for pending in self._pending.values():
             # Each live partition proposes once ("logically correct": the
@@ -184,15 +207,8 @@ class PartitionedMulticast:
         return True
 
     def run(self, max_rounds: int = 200) -> int:
-        rounds = 0
-        idle = 0
-        while rounds < max_rounds and idle < 2:
-            if self.tick() == 0:
-                idle += 1
-            else:
-                idle = 0
-            rounds += 1
-        return rounds
+        """Run until two consecutive idle rounds (or ``max_rounds``)."""
+        return self._scheduler.run(max_rounds, quiescent_rounds=2).rounds
 
     def blocked_messages(self) -> Tuple[MulticastMessage, ...]:
         """Messages stuck behind a fully crashed partition."""

@@ -19,16 +19,18 @@ members, so it is genuine and passes the Minimality audit.
 
 from __future__ import annotations
 
-import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.groups.topology import GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
+from repro.runtime import Scheduler, SystemActor
 
 #: A Skeen timestamp: (clock value, proposer index) — totally ordered.
 SkeenStamp = Tuple[int, int]
@@ -56,13 +58,31 @@ class SkeenMulticast:
         self.topology = topology
         self.pattern = pattern
         self.record = RunRecord(topology.processes, pattern)
+        self.tracer = TraceRecorder()
         self.factory = MessageFactory()
-        self.time: Time = 0
         self._clocks: Dict[ProcessId, int] = {
             p: 0 for p in topology.processes
         }
         self._states: Dict[object, _MessageState] = {}
         self._delivered: Set[Tuple[ProcessId, object]] = set()
+        # The whole protocol advances as one actor per round; crash
+        # filtering happens inside the phases (per destination member),
+        # so the actor itself is always schedulable.
+        self._scheduler = Scheduler(
+            {"skeen": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
+
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
+    @property
+    def last_run_quiescent(self) -> bool:
+        return self._scheduler.last_run_quiescent
 
     # -- Client interface ---------------------------------------------------------
 
@@ -129,7 +149,10 @@ class SkeenMulticast:
         return True
 
     def tick(self) -> int:
-        self.time += 1
+        """One protocol round (delegated to the shared scheduler)."""
+        return self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
         fired = 0
         for state in list(self._states.values()):
             self._collect_proposals(state)
@@ -154,15 +177,8 @@ class SkeenMulticast:
         return fired
 
     def run(self, max_rounds: int = 200) -> int:
-        rounds = 0
-        idle = 0
-        while rounds < max_rounds and idle < 2:
-            if self.tick() == 0:
-                idle += 1
-            else:
-                idle = 0
-            rounds += 1
-        return rounds
+        """Run until two consecutive idle rounds (or ``max_rounds``)."""
+        return self._scheduler.run(max_rounds, quiescent_rounds=2).rounds
 
     # -- Introspection --------------------------------------------------------------------
 

@@ -6,6 +6,12 @@ writes the campaign artifacts (``manifest.json`` + ``results.jsonl``)
 and prints the aggregate.  CI uses this as the campaign smoke job; the
 exit status is non-zero when any scenario failed or violated a checked
 property.
+
+``--schedulings`` sweeps the engine's scan-vs-event axis, and
+``--backends`` adds the Appendix-A kernel backend.  The kernel backend
+requires pairwise-disjoint destination groups, so asking for it swaps
+the smoke cases for a disjoint grid (which every requested backend then
+shares, keeping rows comparable across the backend axis).
 """
 
 from __future__ import annotations
@@ -18,15 +24,56 @@ from repro.campaign.grid import Campaign, case
 from repro.groups.topology import paper_figure1_topology
 from repro.metrics.sweep import sweep_table
 from repro.workloads.runner import Send
-from repro.workloads.topologies import chain_topology, hub_topology, ring_topology
+from repro.workloads.topologies import (
+    chain_topology,
+    disjoint_topology,
+    hub_topology,
+    ring_topology,
+)
 
 
-def smoke_campaign(seeds: int = 2, max_rounds: int = 600) -> Campaign:
-    """The default smoke grid: 4 cases x ``seeds`` x 2 variants."""
-    figure1 = paper_figure1_topology()
-    return Campaign(
-        name="smoke",
-        cases=(
+def smoke_campaign(
+    seeds: int = 2,
+    max_rounds: int = 600,
+    schedulings: tuple = ("event",),
+    backends: tuple = ("engine",),
+) -> Campaign:
+    """The default smoke grid: 4 cases x ``seeds`` x 2 variants.
+
+    With ``"kernel"`` among the backends the cases switch to disjoint
+    topologies (the kernel backend's requirement) with minority-per-group
+    crashes, and the variant axis collapses to ``"vanilla"`` — protocol
+    variants are an engine notion and would only duplicate kernel rows.
+    """
+    if "kernel" in backends:
+        cases = (
+            case(
+                "disjoint2x3",
+                disjoint_topology(2, group_size=3),
+                sends=(Send(1, "g1", 0), Send(4, "g2", 0), Send(2, "g1", 1)),
+            ),
+            case(
+                "disjoint2x3-crash",
+                disjoint_topology(2, group_size=3),
+                crashes=((3, 5),),  # one g1 member: still a live majority
+                sends=(Send(1, "g1", 0), Send(5, "g2", 1), Send(2, "g1", 2)),
+            ),
+            case(
+                "disjoint3x3",
+                disjoint_topology(3, group_size=3),
+                sends=(Send(2, "g1", 0), Send(4, "g2", 0), Send(8, "g3", 1)),
+            ),
+            case(
+                "disjoint3x3-crash",
+                disjoint_topology(3, group_size=3),
+                crashes=((5, 4),),  # one g2 member
+                sends=(Send(1, "g1", 0), Send(6, "g2", 0), Send(9, "g3", 2)),
+            ),
+        )
+        variants = ("vanilla",)
+    else:
+        figure1 = paper_figure1_topology()
+        cases = (
             case(
                 "figure1-crash",
                 figure1,
@@ -54,9 +101,15 @@ def smoke_campaign(seeds: int = 2, max_rounds: int = 600) -> Campaign:
                 hub_topology(3),
                 sends=(Send(2, "g1", 0), Send(3, "g2", 0), Send(4, "g3", 0)),
             ),
-        ),
+        )
+        variants = ("vanilla", "strict")
+    return Campaign(
+        name="smoke",
+        cases=cases,
         seeds=tuple(range(seeds)),
-        variants=("vanilla", "strict"),
+        variants=variants,
+        schedulings=tuple(schedulings),
+        backends=tuple(backends),
         max_rounds=max_rounds,
     )
 
@@ -84,9 +137,32 @@ def main(argv=None) -> int:
         default=None,
         help="directory to write manifest.json + results.jsonl into",
     )
+    parser.add_argument(
+        "--schedulings",
+        default="event",
+        metavar="MODES",
+        help="comma-separated engine scheduling modes to sweep "
+        "(e.g. 'event,scan' for a differential matrix; default: event)",
+    )
+    parser.add_argument(
+        "--backends",
+        default="engine",
+        metavar="BACKENDS",
+        help="comma-separated execution backends to sweep "
+        "('engine', 'kernel' or both; kernel switches the smoke grid to "
+        "disjoint topologies; default: engine)",
+    )
     args = parser.parse_args(argv)
 
-    campaign = smoke_campaign(seeds=args.seeds)
+    campaign = smoke_campaign(
+        seeds=args.seeds,
+        schedulings=tuple(
+            mode.strip() for mode in args.schedulings.split(",") if mode.strip()
+        ),
+        backends=tuple(
+            b.strip() for b in args.backends.split(",") if b.strip()
+        ),
+    )
     report = run_campaign(campaign, workers=args.workers)
 
     print(sweep_table(report.rows))

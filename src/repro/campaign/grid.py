@@ -4,7 +4,8 @@ A :class:`Campaign` describes a sweep as data: a set of *cases* — each
 binding a topology to a failure pattern and a send script, the three
 axes that must agree on process indices — crossed with independent grids
 over the scalar axes (seeds, protocol variants, detector lags,
-scheduling modes).  :meth:`Campaign.specs` expands the grid into frozen
+scheduling modes, execution backends).  :meth:`Campaign.specs` expands
+the grid into frozen
 :class:`repro.workloads.spec.ScenarioSpec` values in a deterministic
 order, so the same campaign always produces the same scenario list, the
 same content hashes and — executed by :func:`repro.campaign.run_campaign`
@@ -80,8 +81,9 @@ class Campaign:
 
     The expansion order is the nested product, outermost to innermost:
     cases x seeds x variants x gamma_lags x indicator_lags x
-    schedulings.  Every expanded spec gets a deterministic label of the
-    form ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>]``
+    schedulings x backends x event_drivens.  Every expanded spec gets a
+    deterministic label of the form
+    ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>][:<backend>][:ed<0|1>]``
     (non-default axes only, keeping labels short on simple sweeps).
 
     Attributes:
@@ -91,6 +93,10 @@ class Campaign:
         variants: protocol variants to sweep.
         gamma_lags / indicator_lags: detector lags to sweep.
         schedulings: engine scheduling modes to sweep.
+        backends: execution backends (``"engine"`` / ``"kernel"``).
+        event_drivens: kernel scheduling modes; ``None`` derives the
+            mode from ``scheduling``, so the default single-``None``
+            axis makes a scan-vs-event sweep cover both loops.
         max_rounds: round budget shared by every scenario.
     """
 
@@ -101,12 +107,22 @@ class Campaign:
     gamma_lags: Tuple[Time, ...] = (0,)
     indicator_lags: Tuple[Time, ...] = (0,)
     schedulings: Tuple[str, ...] = ("event",)
+    backends: Tuple[str, ...] = ("engine",)
+    event_drivens: Tuple[Optional[bool], ...] = (None,)
     max_rounds: int = 600
 
     def __post_init__(self) -> None:
         if not self.cases:
             raise ValueError("a campaign needs at least one case")
-        for axis in ("seeds", "variants", "gamma_lags", "indicator_lags", "schedulings"):
+        for axis in (
+            "seeds",
+            "variants",
+            "gamma_lags",
+            "indicator_lags",
+            "schedulings",
+            "backends",
+            "event_drivens",
+        ):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} must be non-empty")
 
@@ -119,27 +135,33 @@ class Campaign:
                     for gamma_lag in self.gamma_lags:
                         for indicator_lag in self.indicator_lags:
                             for scheduling in self.schedulings:
-                                expanded.append(
-                                    ScenarioSpec(
-                                        topology=kase.topology,
-                                        crashes=kase.crashes,
-                                        sends=kase.sends,
-                                        seed=seed,
-                                        variant=variant,
-                                        gamma_lag=gamma_lag,
-                                        indicator_lag=indicator_lag,
-                                        max_rounds=self.max_rounds,
-                                        scheduling=scheduling,
-                                        name=self._label(
-                                            kase.label,
-                                            seed,
-                                            variant,
-                                            gamma_lag,
-                                            indicator_lag,
-                                            scheduling,
-                                        ),
-                                    )
-                                )
+                                for backend in self.backends:
+                                    for event_driven in self.event_drivens:
+                                        expanded.append(
+                                            ScenarioSpec(
+                                                topology=kase.topology,
+                                                crashes=kase.crashes,
+                                                sends=kase.sends,
+                                                seed=seed,
+                                                variant=variant,
+                                                gamma_lag=gamma_lag,
+                                                indicator_lag=indicator_lag,
+                                                max_rounds=self.max_rounds,
+                                                scheduling=scheduling,
+                                                backend=backend,
+                                                event_driven=event_driven,
+                                                name=self._label(
+                                                    kase.label,
+                                                    seed,
+                                                    variant,
+                                                    gamma_lag,
+                                                    indicator_lag,
+                                                    scheduling,
+                                                    backend,
+                                                    event_driven,
+                                                ),
+                                            )
+                                        )
         return tuple(expanded)
 
     def _label(
@@ -150,6 +172,8 @@ class Campaign:
         gamma_lag: Time,
         indicator_lag: Time,
         scheduling: str,
+        backend: str,
+        event_driven: Optional[bool],
     ) -> str:
         parts = [base, f"s{seed}", variant]
         if len(self.gamma_lags) > 1 or gamma_lag:
@@ -158,6 +182,10 @@ class Campaign:
             parts.append(f"i{indicator_lag}")
         if len(self.schedulings) > 1 or scheduling != "event":
             parts.append(scheduling)
+        if len(self.backends) > 1 or backend != "engine":
+            parts.append(backend)
+        if len(self.event_drivens) > 1 or event_driven is not None:
+            parts.append(f"ed{int(bool(event_driven))}")
         return ":".join(parts)
 
     def to_json(self) -> Dict[str, Any]:
@@ -181,6 +209,8 @@ class Campaign:
             "gamma_lags": list(self.gamma_lags),
             "indicator_lags": list(self.indicator_lags),
             "schedulings": list(self.schedulings),
+            "backends": list(self.backends),
+            "event_drivens": list(self.event_drivens),
             "max_rounds": self.max_rounds,
         }
 

@@ -49,26 +49,26 @@ must call :meth:`MulticastSystem.wake_all`.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.algorithm1 import Algorithm1Process
 from repro.detectors.indicator import IndicatorOracle
 from repro.detectors.mu import Mu
 from repro.groups.topology import Group, GroupTopology
-from repro.metrics.trace import TraceRecorder, WAIT_IDLE
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId, ProcessSet
 from repro.model.runs import RunRecord
 from repro.objects.space import ObjectSpace
+from repro.runtime import SCHEDULING_MODES, Scheduler, SharedObjectActor
 
 #: An auxiliary per-process action source (e.g. the Prop. 1 reduction):
 #: called as ``component(pid, t)`` and returns the number of actions fired.
 Component = Callable[[ProcessId, Time], int]
 
-#: Supported scheduling modes.
-SCHEDULING_MODES = ("event", "scan")
+__all__ = ["Component", "MulticastSystem", "SCHEDULING_MODES"]
 
 
 class MulticastSystem:
@@ -107,20 +107,8 @@ class MulticastSystem:
         self.topology = topology
         self.pattern = pattern
         self.variant = variant
-        self.scheduling = scheduling
-        self.time: Time = 0
         self.record = RunRecord(topology.processes, pattern)
         self.tracer = TraceRecorder()
-        #: Whether the most recent :meth:`run` ended in quiescence (True)
-        #: or by exhausting its round budget (False).  True before any
-        #: :meth:`run` call — nothing has been cut short yet.
-        self.last_run_quiescent: bool = True
-        #: Processes able to respond to quorum requests *right now*:
-        #: the alive processes within the current participation set.
-        self._active: FrozenSet[ProcessId] = frozenset(
-            p for p in topology.processes if pattern.is_alive(p, 0)
-        )
-        self._participation: Optional[ProcessSet] = None
         #: Wake index: shared-object name -> processes that read it.
         self._wake_index: Dict[str, FrozenSet[ProcessId]] = (
             self._build_wake_index(topology)
@@ -128,9 +116,6 @@ class MulticastSystem:
         #: Processes whose wait condition may have changed since their
         #: last clean (zero-fired) scan.  Starts as everyone.
         self._dirty: Set[ProcessId] = set(topology.processes)
-        #: Fingerprint of (scheduled set, responder set) of the last
-        #: round; a change forces a full scan (quorum availability).
-        self._sched_fingerprint: Optional[Tuple[FrozenSet, FrozenSet]] = None
         self.space = ObjectSpace(
             self._charge,
             guard=self.quorum_ok,
@@ -178,6 +163,47 @@ class MulticastSystem:
             )
             + 1
         )
+        self._scheduler: Scheduler = Scheduler(
+            {p: SharedObjectActor(self, p) for p in sorted(topology.processes)},
+            rng=self._rng,
+            tracer=self.tracer,
+            is_alive=pattern.is_alive,
+            scheduling=scheduling,
+            settle_horizon=lambda: self._settle_time,
+            responders=frozenset(
+                p for p in topology.processes if pattern.is_alive(p, 0)
+            ),
+        )
+
+    # -- Scheduler delegation -------------------------------------------------
+
+    @property
+    def time(self) -> Time:
+        """The global round clock (owned by the shared scheduler)."""
+        return self._scheduler.time
+
+    @property
+    def scheduling(self) -> str:
+        return self._scheduler.scheduling
+
+    @scheduling.setter
+    def scheduling(self, mode: str) -> None:
+        if mode not in SCHEDULING_MODES:
+            raise SimulationError(f"unknown scheduling mode {mode!r}")
+        self._scheduler.scheduling = mode
+
+    @property
+    def last_run_quiescent(self) -> bool:
+        """Whether the most recent :meth:`run` ended in quiescence (True)
+        or by exhausting its round budget (False).  True before any
+        :meth:`run` call — nothing has been cut short yet."""
+        return self._scheduler.last_run_quiescent
+
+    @property
+    def _active(self) -> FrozenSet[ProcessId]:
+        """Processes able to respond to quorum requests *right now*:
+        the alive processes within the current responder set."""
+        return self._scheduler.responders
 
     # -- Wiring ---------------------------------------------------------------
 
@@ -311,53 +337,12 @@ class MulticastSystem:
         ``action_budget`` caps actions per process per round (finest
         interleaving = 1, used by latency measurements).  Returns the
         number of actions fired across the system.
+
+        The per-round contract itself (clock, filtering, shuffle,
+        dispatch, tracer accounting) lives in the shared
+        :class:`repro.runtime.Scheduler`; this is a thin delegation.
         """
-        self.time += 1
-        order = [
-            p
-            for p in self.topology.processes
-            if self.is_alive(p)
-            and (participation is None or p in participation)
-        ]
-        if responders is None:
-            self._active = frozenset(order)
-        else:
-            self._active = frozenset(
-                p for p in responders if self.is_alive(p)
-            )
-        order.sort()
-        self._rng.shuffle(order)
-        fingerprint = (frozenset(order), self._active)
-        full_scan = (
-            self.scheduling == "scan"
-            or self.time <= self._settle_time
-            or fingerprint != self._sched_fingerprint
-            or (action_budget is not None and action_budget <= 0)
-        )
-        self._sched_fingerprint = fingerprint
-        self.tracer.begin_round(self.time, len(order), full_scan)
-        fired = 0
-        for p in order:
-            if not full_scan and p not in self._dirty:
-                self.tracer.note_skipped()
-                continue
-            self._dirty.discard(p)
-            p_fired = 0
-            for component in self._components:
-                p_fired += component(p, self.time)
-            process = self.processes[p]
-            p_fired += process.try_actions(self.time, budget=action_budget)
-            fired += p_fired
-            self.tracer.note_scanned(p_fired)
-            if p_fired == 0:
-                for reason in process.wait_reasons or {WAIT_IDLE}:
-                    self.tracer.note_wait(reason)
-            else:
-                # Its own local state moved: its next action may already
-                # be enabled without any further shared-object write.
-                self._dirty.add(p)
-        self.tracer.end_round()
-        return fired
+        return self._scheduler.round(participation, responders, action_budget)
 
     def settle_horizon(self) -> Time:
         """A time by which all detector outputs have stabilized.
@@ -380,23 +365,13 @@ class MulticastSystem:
         Quiescence requires ``quiescent_rounds`` consecutive idle rounds
         *after* the detector settle horizon, since actions blocked on
         ``gamma``, an indicator or an unstable Omega may re-enable when
-        the detectors settle.  Returns the number of rounds executed.
+        the detectors settle.  Returns the number of rounds executed;
+        :attr:`last_run_quiescent` reports how the run ended.
         """
-        idle = 0
-        rounds = 0
-        quiescent = False
-        while rounds < max_rounds:
-            fired = self.tick(participation)
-            rounds += 1
-            if fired == 0 and self.time >= self.settle_horizon():
-                idle += 1
-                if idle >= quiescent_rounds:
-                    quiescent = True
-                    break
-            else:
-                idle = 0
-        self.last_run_quiescent = quiescent
-        return rounds
+        outcome = self._scheduler.run(
+            max_rounds, participation, quiescent_rounds
+        )
+        return outcome.rounds
 
     # -- Inspection ----------------------------------------------------------------
 

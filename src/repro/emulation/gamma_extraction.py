@@ -20,6 +20,7 @@ observers raise ``failed[π]`` when
 
 from __future__ import annotations
 
+import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import MulticastSystem
@@ -32,8 +33,10 @@ from repro.groups.families import (
     path_edges,
 )
 from repro.groups.topology import Group, GroupFamily, GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.failures import FailurePattern, Time
 from repro.model.processes import ProcessId, ProcessSet, pset
+from repro.runtime import Scheduler, SystemActor
 
 
 class _PathInstance:
@@ -129,7 +132,14 @@ class GammaExtraction(FailureDetector):
         super().__init__()
         self.topology = topology
         self.pattern = pattern
-        self.time: Time = 0
+        self.tracer = TraceRecorder()
+        self._scheduler = Scheduler(
+            {"gamma-extraction": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
         self._instances: Dict[ClosedPath, _PathInstance] = {}
         self._family_of: Dict[ClosedPath, GroupFamily] = {}
         for family in topology.cyclic_families():
@@ -148,17 +158,23 @@ class GammaExtraction(FailureDetector):
 
     # -- Execution ----------------------------------------------------------------
 
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
     def tick(self) -> None:
         """One global round: instances advance, notifications travel."""
-        self.time += 1
+        self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
         # Deliver due notifications to live recipients.
         still_flying = []
         for due, recipients, path, stage in self._in_flight:
-            if due > self.time:
+            if due > t:
                 still_flying.append((due, recipients, path, stage))
                 continue
             for q in recipients:
-                if self.pattern.is_alive(q, self.time):
+                if self.pattern.is_alive(q, t):
                     self._received[q].setdefault(path, set()).add(stage)
         self._in_flight = still_flying
         # Advance the instances; collect fresh signals (line 9 sends).
@@ -168,12 +184,13 @@ class GammaExtraction(FailureDetector):
                 for g in instance.family:
                     members |= set(g.members)
                 self._in_flight.append(
-                    (self.time + 1, pset(members), path, stage)
+                    (t + 1, pset(members), path, stage)
                 )
+        return 1
 
     def run(self, rounds: int) -> None:
-        for _ in range(rounds):
-            self.tick()
+        """Advance exactly ``rounds`` global rounds (fixed budget)."""
+        self._scheduler.run(rounds, halt_on_quiescence=False)
 
     # -- The update rule (lines 11-13) ------------------------------------------------
 

@@ -12,15 +12,18 @@ delivery broadcasts ``failed`` to ``g ∪ h``.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.engine import MulticastSystem
 from repro.core.group_sequential import AtomicMulticast
 from repro.detectors.base import FailureDetector
 from repro.groups.topology import Group, GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import DetectorError
 from repro.model.failures import FailurePattern, Time
 from repro.model.processes import ProcessId, ProcessSet, pset
+from repro.runtime import Scheduler, SystemActor
 
 
 class IndicatorExtraction(FailureDetector):
@@ -49,7 +52,14 @@ class IndicatorExtraction(FailureDetector):
         self.watched: ProcessSet = self.g.intersection(self.h)
         if not self.watched:
             raise DetectorError("the two groups must intersect")
-        self.time: Time = 0
+        self.tracer = TraceRecorder()
+        self._scheduler = Scheduler(
+            {"indicator-extraction": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
         #: line 2: B = A_g at g \ h, A_h at h \ g, bottom inside g ∩ h.
         self._sides: List[Tuple[Group, ProcessSet, MulticastSystem, AtomicMulticast]] = []
         for group, other in ((self.g, self.h), (self.h, self.g)):
@@ -77,16 +87,22 @@ class IndicatorExtraction(FailureDetector):
                     multicaster.multicast(p, group.name, payload=p)
         self._started = True
 
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
     def tick(self) -> None:
         """One round: both side instances advance; flags propagate."""
-        self.time += 1
+        self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
         if not self._started:
             self._start()
         still_flying = []
         for due, recipient in self._in_flight:
-            if due > self.time:
+            if due > t:
                 still_flying.append((due, recipient))
-            elif self.pattern.is_alive(recipient, self.time):
+            elif self.pattern.is_alive(recipient, t):
                 self._failed[recipient] = True
         self._in_flight = still_flying
         everyone = pset(self.g.members | self.h.members)
@@ -97,11 +113,12 @@ class IndicatorExtraction(FailureDetector):
                     # line 6-7: delivery observed -> send failed to g ∪ h.
                     self._failed[p] = True
                     for q in everyone:
-                        self._in_flight.append((self.time + 1, q))
+                        self._in_flight.append((t + 1, q))
+        return 1
 
     def run(self, rounds: int) -> None:
-        for _ in range(rounds):
-            self.tick()
+        """Advance exactly ``rounds`` global rounds (fixed budget)."""
+        self._scheduler.run(rounds, halt_on_quiescence=False)
 
     def query(self, p: ProcessId, t: Time) -> bool:
         """Lines 10-11: the local failed flag."""

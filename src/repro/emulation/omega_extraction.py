@@ -36,15 +36,18 @@ property all the valency arguments hinge on.
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import MulticastSystem
 from repro.core.group_sequential import AtomicMulticast
 from repro.detectors.base import BOTTOM, FailureDetector
 from repro.groups.topology import Group, GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import DetectorError
 from repro.model.failures import FailurePattern, Time, failure_free
 from repro.model.processes import ProcessId, ProcessSet, pset
+from repro.runtime import Scheduler, SystemActor
 
 #: A configuration: per member of g∩h (sorted), the group it multicasts to.
 Config = Tuple[str, ...]
@@ -87,7 +90,14 @@ class OmegaExtraction(FailureDetector):
         )
         self.seed = seed
         self.max_depth = max_depth
-        self.time: Time = 0
+        self.tracer = TraceRecorder()
+        self._scheduler = Scheduler(
+            {"omega-extraction": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
         #: Sample counts per process (the DAG's occurrence record).
         self._samples: Dict[ProcessId, int] = {p: 0 for p in self.actors}
         #: Sample counts as of two rounds ago, to detect stalling.
@@ -102,20 +112,27 @@ class OmegaExtraction(FailureDetector):
 
     # -- Sample -----------------------------------------------------------------
 
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
     def tick(self) -> None:
         """One collaborative sampling round (the *Sample* procedure)."""
-        self.time += 1
+        self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
         marks = dict(self._samples)
         for p in self.actors:
-            if self.pattern.is_alive(p, self.time):
+            if self.pattern.is_alive(p, t):
                 self._samples[p] += 1
         self._history_marks.append(marks)
         if len(self._history_marks) > 3:
             self._history_marks.pop(0)
+        return 1
 
     def run(self, rounds: int) -> None:
-        for _ in range(rounds):
-            self.tick()
+        """Advance exactly ``rounds`` sampling rounds (fixed budget)."""
+        self._scheduler.run(rounds, halt_on_quiescence=False)
 
     def _alive_view(self) -> FrozenSet[ProcessId]:
         """Processes whose samples are still growing.

@@ -18,6 +18,7 @@ glues into an ordering violation if two disjoint responsive sets existed.
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.engine import MulticastSystem
@@ -25,9 +26,11 @@ from repro.core.group_sequential import AtomicMulticast
 from repro.detectors.base import BOTTOM, FailureDetector
 from repro.emulation.heartbeats import HeartbeatRanking
 from repro.groups.topology import Group, GroupTopology
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import DetectorError
 from repro.model.failures import FailurePattern, Time
 from repro.model.processes import ProcessId, ProcessSet, pset
+from repro.runtime import Scheduler, SystemActor
 
 
 class _Instance:
@@ -98,7 +101,14 @@ class SigmaExtraction(FailureDetector):
             raise DetectorError("the groups of G must intersect")
         self.scope: ProcessSet = pset(scope)
         self.ranking = HeartbeatRanking(pattern)
-        self.time: Time = 0
+        self.tracer = TraceRecorder()
+        self._scheduler = Scheduler(
+            {"sigma-extraction": SystemActor(self._advance)},
+            rng=random.Random(seed),
+            tracer=self.tracer,
+            is_alive=lambda _key, _t: True,
+            scheduling="scan",
+        )
         #: All instances A_{g,x}, keyed by (group, participant set).
         self._instances: Dict[Tuple[Group, ProcessSet], _Instance] = {}
         for g in self.groups:
@@ -113,16 +123,23 @@ class SigmaExtraction(FailureDetector):
 
     # -- Execution -------------------------------------------------------------
 
+    @property
+    def time(self) -> Time:
+        return self._scheduler.time
+
     def tick(self) -> None:
         """One global round: every instance advances, heartbeats beat."""
-        self.time += 1
-        self.ranking.advance(self.time)
+        self._scheduler.round()
+
+    def _advance(self, t: Time) -> int:
+        self.ranking.advance(t)
         for instance in self._instances.values():
             instance.tick()
+        return 1
 
     def run(self, rounds: int) -> None:
-        for _ in range(rounds):
-            self.tick()
+        """Advance exactly ``rounds`` global rounds (fixed budget)."""
+        self._scheduler.run(rounds, halt_on_quiescence=False)
 
     # -- The emulated detector ---------------------------------------------------
 

@@ -49,6 +49,19 @@ ConsensusGateFn = Callable[[ProcessId, Group], bool]
 WriteFn = Callable[[str], None]
 
 
+def _det_label(key: Any) -> str:
+    """A hash-seed-independent rendering of an object-name key.
+
+    ``repr(frozenset)`` follows string hash order, which varies per
+    interpreter run (PYTHONHASHSEED); object names feed the step-charge
+    reasons in the :class:`repro.model.RunRecord`, so they must render
+    identically across processes for traces to be reproducible.
+    """
+    if isinstance(key, (frozenset, set)):
+        return "{" + ",".join(sorted(str(item) for item in key)) + "}"
+    return str(key)
+
+
 def _no_charge(_p: ProcessId, _reason: str) -> None:
     """Default accounting sink: discard charges."""
 
@@ -363,7 +376,9 @@ class ObjectSpace:
         handle = self._consensus.get(key)
         if handle is None:
             handle = ConsensusHandle(
-                ConsensusObject(f"CONS[{message_key},{family_key}]"),
+                ConsensusObject(
+                    f"CONS[{_det_label(message_key)},{_det_label(family_key)}]"
+                ),
                 host,
                 self._charge,
                 self._guard,

@@ -1,0 +1,26 @@
+"""repro.runtime — the shared execution loop of every scenario family.
+
+One :class:`Scheduler` owns the per-round contract (clock, alive ∩
+participation filtering, seeded shuffle, dispatch, tracer accounting,
+settle-horizon-aware quiescence); hosts adapt their execution units to
+the :class:`Actor` protocol via the adapters in
+:mod:`repro.runtime.actors`.
+"""
+
+from repro.runtime.actors import AutomatonActor, SharedObjectActor, SystemActor
+from repro.runtime.scheduler import (
+    SCHEDULING_MODES,
+    Actor,
+    RunOutcome,
+    Scheduler,
+)
+
+__all__ = [
+    "Actor",
+    "AutomatonActor",
+    "RunOutcome",
+    "Scheduler",
+    "SCHEDULING_MODES",
+    "SharedObjectActor",
+    "SystemActor",
+]

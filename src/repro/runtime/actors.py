@@ -1,0 +1,121 @@
+"""Actor adapters: how each execution host plugs into the Scheduler.
+
+Three adapters cover every loop in the repo:
+
+* :class:`SharedObjectActor` — one Algorithm 1 process (plus its
+  auxiliary components) inside a :class:`repro.core.MulticastSystem`;
+  parking is driven by the system's wake-index dirty set.
+* :class:`AutomatonActor` — one Appendix-A automaton inside a
+  :class:`repro.sim.Kernel`; parking is driven by the automaton's
+  :meth:`~repro.sim.kernel.Automaton.idle` declaration plus the message
+  buffer's pending queue.
+* :class:`SystemActor` — a whole subsystem as a single actor (the
+  baselines and the §5/§6 emulation drivers, which advance an entire
+  deployment per round and have no per-process schedule of their own).
+
+The adapters deliberately hold a back-reference to their host instead of
+copying its state: the dirty set, the started set and the message buffer
+are live, shared structures, and the host's public mutators
+(``wake_all``, ``multicast``, ``step_process``) must keep affecting the
+very objects the actors consult.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.metrics.trace import WAIT_IDLE
+from repro.model.failures import Time
+from repro.model.processes import ProcessId
+from repro.runtime.scheduler import Actor
+
+
+class SharedObjectActor(Actor):
+    """One Algorithm 1 process + components, parked via the dirty set.
+
+    A process is parked when it is absent from the system's dirty set:
+    its last scan fired nothing and no shared object it reads has been
+    written since (see the wake index in :mod:`repro.core.engine`).
+    The engine records no wait reason for skipped processes
+    (``SKIP_WAIT = ()``) — only scanned-but-blocked processes are
+    histogrammed.
+    """
+
+    def __init__(self, system, pid: ProcessId) -> None:
+        self._system = system
+        self._pid = pid
+        self._process = system.processes[pid]
+
+    def parked(self, t: Time) -> bool:
+        return self._pid not in self._system._dirty
+
+    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+        system, pid = self._system, self._pid
+        system._dirty.discard(pid)
+        fired = 0
+        for component in system._components:
+            fired += component(pid, t)
+        fired += self._process.try_actions(t, budget=budget)
+        if fired:
+            # Its own local state moved: its next action may already be
+            # enabled without any further shared-object write.
+            system._dirty.add(pid)
+        return fired
+
+    def wait_reasons(self) -> Iterable[str]:
+        return self._process.wait_reasons or {WAIT_IDLE}
+
+
+class AutomatonActor(Actor):
+    """One Appendix-A automaton, parked via ``idle()`` + empty inbox.
+
+    A started process whose automaton reports idle and whose inbox is
+    empty may be skipped: its step would receive the null message and,
+    by the automaton's own declaration, change nothing.  The same test
+    defines *productivity* — :meth:`fire` always takes the step (fair
+    rounds step everyone on a full scan) but returns 0 when the step was
+    declared changeless beforehand, so quiescence detection sees through
+    no-op steps.  Skipped automata are accounted as idle waits, matching
+    the event-driven kernel's accounting.
+    """
+
+    SKIP_WAIT: Tuple[str, ...] = (WAIT_IDLE,)
+
+    def __init__(self, kernel, pid: ProcessId) -> None:
+        self._kernel = kernel
+        self._pid = pid
+
+    def parked(self, t: Time) -> bool:
+        kernel, pid = self._kernel, self._pid
+        return (
+            pid in kernel._started
+            and kernel.automata[pid].idle()
+            and not kernel.buffer.has_pending(pid)
+        )
+
+    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+        productive = not self.parked(t)
+        self._kernel.step_process(self._pid)
+        return 1 if productive else 0
+
+    def wait_reasons(self) -> Iterable[str]:
+        return (WAIT_IDLE,)
+
+
+class SystemActor(Actor):
+    """A whole subsystem as one always-eligible actor.
+
+    Wraps a ``fire(t) -> int`` callable that advances the entire
+    deployment by one round and reports how many actions it fired — the
+    shape of the baselines' and emulation drivers' old ``tick`` bodies,
+    minus the clock bump the scheduler now owns.
+    """
+
+    def __init__(self, advance: Callable[[Time], int]) -> None:
+        self._advance = advance
+
+    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+        return self._advance(t)
+
+    def wait_reasons(self) -> Iterable[str]:
+        return (WAIT_IDLE,)

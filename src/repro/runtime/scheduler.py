@@ -1,0 +1,271 @@
+"""The shared round scheduler — the one hot loop of the reproduction.
+
+Before this layer existed the repo ran the paper's constructions on two
+parallel-evolved loops: the round-based shared-object engine
+(:mod:`repro.core.engine`, Algorithm 1 and the §5/§6 emulations) and the
+step-level Appendix-A kernel (:mod:`repro.sim.kernel`, the §4.3
+message-passing substrates).  Both implemented the same per-round
+contract — advance the clock, filter the alive processes inside the
+participation set, shuffle them with the seeded RNG, dispatch, account
+the round in the tracer, detect quiescence — with independently drifting
+semantics.  The :class:`Scheduler` owns that contract once, in the
+spirit of the single linearized-action model the paper reasons on
+(§4.4): a run is a sequence of atomic actions under an adversarially
+shuffled yet reproducible schedule.
+
+Hosts adapt their unit of execution to the small :class:`Actor`
+protocol (see :mod:`repro.runtime.actors`) and keep their public APIs as
+thin delegations.  Two invariants make that safe:
+
+* **RNG compatibility** — the scheduler draws from the RNG exactly as
+  the seed loops did: one shuffle of the sorted eligible set per round,
+  nothing else.  Parked actors are skipped *after* the shuffle, so the
+  schedule of the actors that do act — and therefore every
+  :class:`repro.model.RunRecord` trace — is byte-identical to a
+  scan-everything run (``tests/runtime`` holds the pre-refactor golden
+  fingerprints that pin this down).
+
+* **Skip soundness** — an actor is skipped only when (a) the round is
+  not a *full scan* and (b) the actor reports :meth:`Actor.parked`.
+  Full scans are forced while ``time <= settle_horizon()`` (detector
+  outputs may still move), whenever the (scheduled, responder) set pair
+  changes (quorum availability), in ``scheduling="scan"`` mode, and on
+  non-positive action budgets — the same conservative fallbacks the
+  event-driven engine introduced in PR 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from repro.metrics.trace import TraceRecorder
+from repro.model.errors import SimulationError
+from repro.model.failures import Time
+
+#: Supported scheduling modes (also re-exported by repro.core.engine).
+SCHEDULING_MODES = ("event", "scan")
+
+#: Sortable actor key — a ProcessId for per-process hosts, a string for
+#: whole-system hosts (baselines, emulation drivers).
+Key = TypeVar("Key")
+
+
+class Actor:
+    """One schedulable unit: a process, or a whole subsystem.
+
+    Adapters implement three verbs:
+
+    * :meth:`parked` — whether skipping this actor in a non-full-scan
+      round is provably a no-op.  The scheduler consults it *after* the
+      shuffle, so parking never changes the RNG stream.
+    * :meth:`fire` — take the actor's step(s); returns the number of
+      *productive* actions (0 = the step provably changed nothing),
+      which feeds both the tracer and quiescence detection.
+    * :meth:`wait_reasons` — why a scanned-but-idle actor is blocked
+      (histogrammed into the round trace).
+
+    ``SKIP_WAIT`` names the wait reasons recorded when the actor is
+    skipped while parked (the kernel counts those as ``idle``; the
+    engine records nothing).
+    """
+
+    SKIP_WAIT: Tuple[str, ...] = ()
+
+    def parked(self, t: Time) -> bool:
+        return False
+
+    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+        raise NotImplementedError
+
+    def wait_reasons(self) -> Iterable[str]:
+        return ()
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one :meth:`Scheduler.run` call actually did.
+
+    Attributes:
+        rounds: rounds executed (<= the ``max_rounds`` budget).
+        quiescent: whether the run ended in quiescence — ``False`` means
+            the round budget (or a ``stop_when`` predicate) cut it short
+            and the run proves nothing about termination.
+        fired: total productive actions across all rounds.
+    """
+
+    rounds: int
+    quiescent: bool
+    fired: int
+
+
+class Scheduler:
+    """Owns the per-round contract shared by every execution loop.
+
+    Args:
+        actors: the schedulable units, keyed by a sortable identity
+            (``ProcessId`` for per-process hosts).
+        rng: the seeded schedule source; the scheduler is its only
+            consumer.
+        tracer: per-round counters (see :mod:`repro.metrics.trace`).
+        is_alive: ``(key, t) -> bool`` — crash filtering; keys failing
+            it are not scheduled at all.
+        scheduling: ``"event"`` (skip parked actors) or ``"scan"``
+            (scan everything — the seed engines' behaviour).
+        settle_horizon: callable returning the time by which detector
+            outputs have stabilized; full scans are forced up to it and
+            quiescence is only trusted past it.
+        pre_round: optional hook run right after the clock advances and
+            before eligibility is computed (crash-time cleanup).
+        responders: initial responder set (processes able to answer
+            quorum requests), before any round has run.
+    """
+
+    def __init__(
+        self,
+        actors: Mapping[Key, Actor],
+        rng: random.Random,
+        tracer: TraceRecorder,
+        is_alive: Callable[[Key, Time], bool],
+        scheduling: str = "event",
+        settle_horizon: Optional[Callable[[], Time]] = None,
+        pre_round: Optional[Callable[[Time], None]] = None,
+        responders: Optional[FrozenSet[Key]] = None,
+    ) -> None:
+        if scheduling not in SCHEDULING_MODES:
+            raise SimulationError(f"unknown scheduling mode {scheduling!r}")
+        self._actors: Dict[Key, Actor] = dict(actors)
+        self._rng = rng
+        self.tracer = tracer
+        self._is_alive = is_alive
+        self.scheduling = scheduling
+        self._settle_horizon = settle_horizon or (lambda: 0)
+        self._pre_round = pre_round
+        self.time: Time = 0
+        #: Whether the most recent :meth:`run` ended in quiescence; True
+        #: before any run call — nothing has been cut short yet.
+        self.last_run_quiescent: bool = True
+        #: Actors able to answer quorum requests *right now*: the alive
+        #: members of the last round's responder (or scheduled) set.
+        self.responders: FrozenSet[Key] = responders or frozenset()
+        #: Fingerprint of (scheduled set, responder set) of the last
+        #: round; a change forces a full scan (quorum availability).
+        self._fingerprint: Optional[Tuple[FrozenSet, FrozenSet]] = None
+
+    # -- One round ---------------------------------------------------------
+
+    def round(
+        self,
+        participation: Optional[Iterable[Key]] = None,
+        responders: Optional[Iterable[Key]] = None,
+        action_budget: Optional[int] = None,
+    ) -> int:
+        """One round: advance the clock, let eligible actors act.
+
+        ``participation`` restricts who *acts* this round; ``responders``
+        (defaulting to the participation set) restricts who may answer
+        quorum requests — CHT-style simulated runs schedule one actor
+        per step while the other scheduled processes still serve
+        quorums.  ``action_budget`` caps actions per actor per round
+        (finest interleaving = 1).  Returns the number of productive
+        actions fired across the system.
+        """
+        self.time += 1
+        if self._pre_round is not None:
+            self._pre_round(self.time)
+        order = [
+            key
+            for key in self._actors
+            if self._is_alive(key, self.time)
+            and (participation is None or key in participation)
+        ]
+        if responders is None:
+            self.responders = frozenset(order)
+        else:
+            self.responders = frozenset(
+                key for key in responders if self._is_alive(key, self.time)
+            )
+        order.sort()
+        self._rng.shuffle(order)
+        fingerprint = (frozenset(order), self.responders)
+        full_scan = (
+            self.scheduling == "scan"
+            or self.time <= self._settle_horizon()
+            or fingerprint != self._fingerprint
+            or (action_budget is not None and action_budget <= 0)
+        )
+        self._fingerprint = fingerprint
+        self.tracer.begin_round(self.time, len(order), full_scan)
+        fired = 0
+        for key in order:
+            actor = self._actors[key]
+            if not full_scan and actor.parked(self.time):
+                self.tracer.note_skipped()
+                for reason in actor.SKIP_WAIT:
+                    self.tracer.note_wait(reason)
+                continue
+            count = actor.fire(self.time, action_budget)
+            fired += count
+            self.tracer.note_scanned(count)
+            if count == 0:
+                for reason in actor.wait_reasons():
+                    self.tracer.note_wait(reason)
+        self.tracer.end_round()
+        return fired
+
+    # -- Many rounds -------------------------------------------------------
+
+    def settle_horizon(self) -> Time:
+        """The host's detector-stabilization time (0 when none)."""
+        return self._settle_horizon()
+
+    def run(
+        self,
+        max_rounds: int = 500,
+        participation: Optional[Iterable[Key]] = None,
+        quiescent_rounds: int = 2,
+        stop_when: Optional[Callable[[], bool]] = None,
+        halt_on_quiescence: bool = True,
+    ) -> RunOutcome:
+        """Run rounds until quiescence (or ``max_rounds``).
+
+        Quiescence requires ``quiescent_rounds`` consecutive rounds with
+        zero productive actions *after* the settle horizon, since
+        actions blocked on a detector may re-enable when it settles.
+        With ``halt_on_quiescence=False`` the budget is always executed
+        in full (the legacy kernel contract) and the outcome reports
+        whether the run *ended* quiescent.  ``stop_when`` is evaluated
+        after every round and cuts the run short without claiming
+        quiescence.
+        """
+        idle = 0
+        rounds = 0
+        total_fired = 0
+        quiescent = False
+        while rounds < max_rounds:
+            fired = self.round(participation)
+            total_fired += fired
+            rounds += 1
+            if fired == 0 and self.time >= self._settle_horizon():
+                idle += 1
+                if idle >= quiescent_rounds and halt_on_quiescence:
+                    quiescent = True
+                    break
+            else:
+                idle = 0
+            if stop_when is not None and stop_when():
+                break
+        if not quiescent:
+            quiescent = idle >= quiescent_rounds
+        self.last_run_quiescent = quiescent
+        return RunOutcome(rounds=rounds, quiescent=quiescent, fired=total_fired)

@@ -19,11 +19,12 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.detectors.base import FailureDetector
-from repro.metrics.trace import WAIT_IDLE, TraceRecorder
+from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import Datagram, MessageBuffer
 from repro.model.processes import ProcessId, ProcessSet
+from repro.runtime import AutomatonActor, Scheduler
 
 
 class Context:
@@ -106,7 +107,6 @@ class Kernel:
         self.automata = dict(automata)
         self.detectors = detectors or {}
         self.buffer = MessageBuffer()
-        self.time: Time = 0
         self.event_driven = event_driven
         self.tracer = TraceRecorder()
         self.outputs: Dict[ProcessId, List[Tuple[Time, Any]]] = {
@@ -115,6 +115,62 @@ class Kernel:
         self.steps_taken: Dict[ProcessId, int] = {p: 0 for p in automata}
         self._started: set = set()
         self._rng = random.Random(seed)
+        #: Crash-time drop schedule: instead of sweeping every inbox each
+        #: round, pending datagrams are dropped once when their owner's
+        #: crash time arrives (and on any later round where new datagrams
+        #: were addressed to an already-dead process).
+        self._crash_schedule: List[Tuple[Time, ProcessId]] = sorted(
+            (when, p)
+            for p, when in pattern.crash_times.items()
+            if p in self.automata
+        )
+        self._crash_cursor = 0
+        self._dead: List[ProcessId] = []
+        self._scheduler: Scheduler = Scheduler(
+            {p: AutomatonActor(self, p) for p in sorted(self.automata)},
+            rng=self._rng,
+            tracer=self.tracer,
+            is_alive=pattern.is_alive,
+            scheduling="event" if event_driven else "scan",
+            pre_round=self._drop_crashed,
+        )
+
+    @property
+    def time(self) -> Time:
+        """The global round clock (owned by the shared scheduler)."""
+        return self._scheduler.time
+
+    @property
+    def last_run_quiescent(self) -> bool:
+        """Whether the most recent :meth:`run` *ended* quiescent.
+
+        With an explicit ``quiescent_rounds`` the run halts on
+        quiescence like :meth:`repro.core.MulticastSystem.run`; without
+        one the full round budget executes and this flag reports whether
+        the final round(s) were productive — ``False`` flags a run cut
+        short mid-protocol.  True before any :meth:`run` call.
+        """
+        return self._scheduler.last_run_quiescent
+
+    def _drop_crashed(self, t: Time) -> None:
+        """Drop pending datagrams of processes crashed by time ``t``.
+
+        Replaces the former per-round every-inbox sweep: with zero
+        crashes this is free, and with crashes it touches only the dead
+        processes' inboxes (a message addressed to a dead process is
+        still dropped at the start of the next round, exactly as
+        before).
+        """
+        schedule = self._crash_schedule
+        while (
+            self._crash_cursor < len(schedule)
+            and schedule[self._crash_cursor][0] <= t
+        ):
+            self._dead.append(schedule[self._crash_cursor][1])
+            self._crash_cursor += 1
+        for p in self._dead:
+            if self.buffer.has_pending(p):
+                self.buffer.drop_all_for(p)
 
     # -- Stepping --------------------------------------------------------------
 
@@ -145,53 +201,41 @@ class Kernel:
         automaton's own declaration, change nothing.  The full shuffled
         order is still drawn first, so the schedule of the processes
         that *do* step is identical to the scan kernel's.
+
+        The per-round contract itself lives in the shared
+        :class:`repro.runtime.Scheduler`; this is a thin delegation.
+        Returns the number of *productive* steps — a step an idle
+        automaton took on an empty inbox is fair-scheduling overhead,
+        not progress, and does not count.
         """
-        self.time += 1
-        for p in self.automata:
-            if not self.pattern.is_alive(p, self.time):
-                self.buffer.drop_all_for(p)
-        order = [
-            p
-            for p in self.automata
-            if self.pattern.is_alive(p, self.time)
-            and (participation is None or p in participation)
-        ]
-        order.sort()
-        self._rng.shuffle(order)
-        self.tracer.begin_round(
-            self.time, len(order), full_scan=not self.event_driven
-        )
-        stepped = 0
-        for p in order:
-            if (
-                self.event_driven
-                and p in self._started
-                and self.automata[p].idle()
-                and not self.buffer.has_pending(p)
-            ):
-                self.tracer.note_skipped()
-                self.tracer.note_wait(WAIT_IDLE)
-                continue
-            self.step_process(p)
-            self.tracer.note_scanned(1)
-            stepped += 1
-        self.tracer.end_round()
-        return stepped
+        self._scheduler.scheduling = "event" if self.event_driven else "scan"
+        return self._scheduler.round(participation)
 
     def run(
         self,
         rounds: int,
         participation: Optional[ProcessSet] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        quiescent_rounds: Optional[int] = None,
     ) -> int:
-        """Run up to ``rounds`` fair rounds; stop early on ``stop_when``."""
-        done = 0
-        for _ in range(rounds):
-            self.round(participation)
-            done += 1
-            if stop_when is not None and stop_when():
-                break
-        return done
+        """Run up to ``rounds`` fair rounds; stop early on ``stop_when``.
+
+        With ``quiescent_rounds`` set, the run additionally halts once
+        that many consecutive rounds take zero productive steps — the
+        same semantics as :meth:`repro.core.MulticastSystem.run` — and
+        :attr:`last_run_quiescent` reports whether it did.  Without it
+        the full budget executes (the legacy contract) and the flag
+        reports whether the run *ended* idle.
+        """
+        self._scheduler.scheduling = "event" if self.event_driven else "scan"
+        outcome = self._scheduler.run(
+            rounds,
+            participation,
+            quiescent_rounds=1 if quiescent_rounds is None else quiescent_rounds,
+            stop_when=stop_when,
+            halt_on_quiescence=quiescent_rounds is not None,
+        )
+        return outcome.rounds
 
     # -- Introspection -------------------------------------------------------------
 

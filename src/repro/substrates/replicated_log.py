@@ -45,6 +45,18 @@ class ReplicatedLogAutomaton(Automaton):
         """Client call: replicate ``value`` (at-least-once per slot)."""
         self._pending.append(value)
 
+    def idle(self) -> bool:
+        """Nothing pending and no slot open at the apply head.
+
+        A null step only drives the head slot (propose / progress), and
+        the apply loop leaves the head either absent or undecided — so
+        with no pending value and no head automaton, a step without a
+        datagram provably changes nothing.  Later slots opened by
+        incoming datagrams progress on receipt, which un-parks the
+        process through the buffer check.
+        """
+        return not self._pending and self._slots.get(self._next_slot) is None
+
     def _slot(self, index: int) -> ConsensusAutomaton:
         automaton = self._slots.get(index)
         if automaton is None:

@@ -18,10 +18,25 @@ and replayed (see :mod:`repro.campaign`).  The legacy form
 ``run_scenario(topology, pattern, sends, ...)`` remains as a shim whose
 tuning parameters are keyword-only; passing them positionally emits a
 :class:`DeprecationWarning`.
+
+Two *backends* execute a spec, both driven by the shared
+:class:`repro.runtime.Scheduler`:
+
+* ``backend="engine"`` (default) — the §4.4 shared-object
+  :class:`MulticastSystem`, Algorithm 1 proper;
+* ``backend="kernel"`` — the Appendix-A step-level :class:`Kernel`
+  running one :class:`repro.substrates.replicated_log.ReplicatedLogCluster`
+  per destination group.  Groups must be pairwise disjoint (a shared
+  member would need the cross-log coordination that *is* Algorithm 1);
+  each send becomes an ``append`` of the message id at the sender's
+  replica, and the synthesized :class:`RunRecord` marks a delivery when
+  a replica applies that id, so the same §2.2 property checkers judge
+  both backends.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 import warnings
 from dataclasses import dataclass, field
@@ -30,10 +45,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.engine import MulticastSystem
 from repro.core.group_sequential import AtomicMulticast
 from repro.groups.topology import GroupTopology
+from repro.metrics.trace import TraceRecorder
+from repro.model.errors import SimulationError, TopologyError
 from repro.model.failures import FailurePattern, Time
-from repro.model.messages import MulticastMessage
+from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
+from repro.sim.kernel import Kernel
+from repro.substrates.replicated_log import ReplicatedLogCluster
 from repro.workloads.spec import ScenarioSpec
 
 
@@ -72,24 +91,55 @@ class ScenarioResult:
             out rather than because the system went quiescent — either
             sends were left unissued (``unsent_sends``) or the drain
             phase was cut short.  A truncated run proves nothing.
+        quiescent: whether the drain phase actually reached quiescence
+            (the executing loop's ``last_run_quiescent``) — the
+            productive half of ``truncated``, surfaced on its own so
+            sweep rows can distinguish "budget ran out" from "script was
+            never finished".
+        system / multicaster: the engine deployment (``None`` for
+            kernel-backed runs).
+        kernel: the step-level kernel (``None`` for engine-backed runs).
     """
 
     record: RunRecord
     messages: List[MulticastMessage]
-    system: MulticastSystem
-    multicaster: AtomicMulticast
+    system: Optional[MulticastSystem]
+    multicaster: Optional[AtomicMulticast]
     rounds: int
     skipped_sends: List[Send] = field(default_factory=list)
     unsent_sends: List[Send] = field(default_factory=list)
     spec: Optional[ScenarioSpec] = None
     truncated: bool = False
+    quiescent: bool = True
+    kernel: Optional[Kernel] = None
+
+    @property
+    def backend(self) -> str:
+        """Which execution loop produced this result."""
+        if self.spec is not None:
+            return self.spec.backend
+        return "kernel" if self.kernel is not None else "engine"
+
+    @property
+    def tracer(self) -> TraceRecorder:
+        """The per-round trace of whichever loop ran the scenario."""
+        if self.system is not None:
+            return self.system.tracer
+        assert self.kernel is not None
+        return self.kernel.tracer
 
     def delivered_everywhere(self) -> bool:
         if self.unsent_sends or self.truncated:
             return False
-        return all(
-            self.system.everyone_delivered(m) for m in self.messages
-        )
+        # Judged on the record alone (not the live system), so both
+        # backends share one definition: every *correct* destination
+        # member delivered every scripted message.
+        pattern = self.record.pattern
+        for m in self.messages:
+            wanted = {p for p in m.dst if pattern.is_correct(p)}
+            if not wanted <= self.record.delivered_by(m):
+                return False
+        return True
 
     def to_row(self) -> Dict[str, Any]:
         """The result as one flat, JSON-ready sweep row.
@@ -102,13 +152,15 @@ class ScenarioResult:
         """
         from repro.props.batch import batch_verdicts, variant_checks
 
-        trace = self.system.tracer.summary()
+        trace = self.tracer.summary()
         row: Dict[str, Any] = {
             "name": self.spec.name if self.spec else "",
             "spec_hash": self.spec.spec_hash() if self.spec else None,
             "status": "ok",
+            "backend": self.backend,
             "delivered_everywhere": self.delivered_everywhere(),
             "truncated": self.truncated,
+            "quiescent": self.quiescent,
             "rounds": self.rounds,
             "messages": len(self.messages),
             "skipped_sends": len(self.skipped_sends),
@@ -267,6 +319,10 @@ def _execute(
         topology = spec.build_topology()
     if pattern is None:
         pattern = spec.build_pattern()
+    if spec.backend == "kernel":
+        return _execute_kernel(
+            spec, topology, pattern, trace_path=trace_path
+        )
     system = MulticastSystem(
         topology,
         pattern,
@@ -330,6 +386,136 @@ def _execute(
         unsent_sends=unsent,
         spec=spec,
         truncated=truncated,
+        quiescent=system.last_run_quiescent,
+    )
+
+
+def _execute_kernel(
+    spec: ScenarioSpec,
+    topology: GroupTopology,
+    pattern: FailurePattern,
+    trace_path: Optional[str] = None,
+) -> ScenarioResult:
+    """Run one spec on the Appendix-A kernel backend.
+
+    Each destination group gets its own
+    :class:`~repro.substrates.replicated_log.ReplicatedLogCluster` (one
+    log per group, the §4.3 universal construction), all hosted by a
+    single :class:`Kernel` so the whole scenario shares one clock, one
+    message buffer and one scheduler.  A :class:`Send` becomes an
+    ``append`` of the minted message id at the sender's replica; a
+    replica *delivers* the message when its log applies that id.  The
+    resulting :class:`RunRecord` feeds the same property checkers as the
+    engine backend (step accounting stays in ``kernel.steps_taken`` —
+    kernel steps are datagram receipts, not engine actions, and charging
+    them as record steps would make the Minimality audit compare
+    incomparable units).
+    """
+    for g, h in itertools.combinations(topology.groups, 2):
+        if g.members & h.members:
+            raise TopologyError(
+                f"kernel backend needs pairwise-disjoint groups: "
+                f"{g.name} and {h.name} share "
+                f"{sorted(p.name for p in g.members & h.members)} "
+                f"(intersecting groups need Algorithm 1 — the engine "
+                f"backend)"
+            )
+    clusters = {
+        g.name: ReplicatedLogCluster(pattern, g.members)
+        for g in topology.groups
+    }
+    automata = {}
+    detectors = {}
+    for cluster in clusters.values():
+        automata.update(cluster.automata)
+        detectors.update(cluster.detectors)
+    kernel = Kernel(
+        pattern,
+        automata,
+        detectors,
+        seed=spec.seed,
+        event_driven=spec.kernel_event_driven(),
+    )
+    record = RunRecord(topology.processes, pattern)
+    factory = MessageFactory()
+    by_mid: Dict[Any, MulticastMessage] = {}
+    pending = sorted(spec.sends, key=lambda s: s.at_round)
+    messages: List[MulticastMessage] = []
+    skipped: List[Send] = []
+    rounds = 0
+    cursor = 0
+    while cursor < len(pending) or rounds == 0:
+        while cursor < len(pending) and pending[cursor].at_round <= kernel.time:
+            send = pending[cursor]
+            cursor += 1
+            sender = _process(topology, send.sender)
+            group = topology.group(send.group)
+            if sender not in group:
+                raise SimulationError(
+                    f"closed model: {sender.name} does not belong to "
+                    f"{send.group}"
+                )
+            if not pattern.is_alive(sender, kernel.time):
+                skipped.append(send)
+                continue
+            message = factory.multicast(sender, group.members, send.payload)
+            by_mid[message.mid] = message
+            messages.append(message)
+            record.note_multicast(kernel.time, sender, message)
+            clusters[send.group].append(sender, message.mid)
+        if cursor >= len(pending):
+            break
+        kernel.round()
+        rounds += 1
+        if rounds >= spec.max_rounds:
+            break
+    unsent = list(pending[cursor:])
+    budget = max(0, spec.max_rounds - rounds)
+    rounds += kernel.run(budget, quiescent_rounds=2)
+    quiescent = kernel.last_run_quiescent
+    truncated = bool(unsent) or not quiescent
+    # Synthesize the delivery trace: a replica delivered m when its log
+    # applied m's id.  Sorted by (time, process, apply order) so the
+    # global event list is deterministic; per-process order is the apply
+    # order, which is what Ordering judges.
+    applies: List[Tuple[Time, int, int, ProcessId, MulticastMessage]] = []
+    for p, entries in kernel.outputs.items():
+        for position, (when, value) in enumerate(entries):
+            if (
+                isinstance(value, tuple)
+                and len(value) == 3
+                and value[0] == "applied"
+                and value[2] in by_mid
+            ):
+                applies.append((when, p.index, position, p, by_mid[value[2]]))
+    for when, _, _, p, message in sorted(applies, key=lambda e: e[:3]):
+        record.note_delivery(when, p, message)
+    if trace_path is not None:
+        kernel.tracer.write_jsonl(
+            trace_path,
+            meta={
+                "topology": repr(topology),
+                "pattern": str(pattern),
+                "seed": spec.seed,
+                "backend": "kernel",
+                "event_driven": spec.kernel_event_driven(),
+                "spec_hash": spec.spec_hash(),
+                "sends": len(spec.sends),
+                "rounds": rounds,
+            },
+        )
+    return ScenarioResult(
+        record=record,
+        messages=messages,
+        system=None,
+        multicaster=None,
+        rounds=rounds,
+        skipped_sends=skipped,
+        unsent_sends=unsent,
+        spec=spec,
+        truncated=truncated,
+        quiescent=quiescent,
+        kernel=kernel,
     )
 
 

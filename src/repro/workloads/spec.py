@@ -26,14 +26,21 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Mapping, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.groups.topology import GroupTopology, topology_from_indices
+from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.processes import ProcessId, make_processes, pset
 
-#: Bumped on breaking changes to the spec JSON layout.
-SPEC_SCHEMA_VERSION = 1
+#: Bumped on breaking changes to the spec JSON layout.  Version 2 added
+#: the execution-backend axes (``backend``, ``event_driven``); version-1
+#: payloads load unchanged with the engine defaults.
+SPEC_SCHEMA_VERSION = 2
+
+#: The execution backends a scenario can run on: the round-based
+#: shared-object engine of §4.4 or the step-level Appendix-A kernel.
+BACKENDS = ("engine", "kernel")
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,14 @@ class ScenarioSpec:
         indicator_lag: detection lag of the intersection indicators.
         max_rounds: total round budget (script issuance + drain).
         scheduling: engine scheduling mode (``"event"`` or ``"scan"``).
+        backend: which execution loop runs the scenario — ``"engine"``
+            (the §4.4 shared-object system, the default) or ``"kernel"``
+            (the Appendix-A step-level kernel driving one replicated log
+            per destination group; requires pairwise-disjoint groups).
+        event_driven: kernel scheduling mode.  ``None`` (the default)
+            derives it from ``scheduling`` (``"event"`` → ``True``), so
+            a scan-vs-event sweep exercises both loops with one axis; an
+            explicit boolean overrides.  Ignored by the engine backend.
         name: free-form label for reports.  Excluded from equality and
             from :meth:`spec_hash` — a label is not part of the
             scenario's identity.
@@ -118,7 +133,21 @@ class ScenarioSpec:
     indicator_lag: Time = 0
     max_rounds: int = 600
     scheduling: str = "event"
+    backend: str = "engine"
+    event_driven: Optional[bool] = None
     name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+
+    def kernel_event_driven(self) -> bool:
+        """The effective kernel scheduling mode (see ``event_driven``)."""
+        if self.event_driven is not None:
+            return self.event_driven
+        return self.scheduling == "event"
 
     # -- Construction -----------------------------------------------------
 
@@ -135,6 +164,8 @@ class ScenarioSpec:
         indicator_lag: Time = 0,
         max_rounds: int = 600,
         scheduling: str = "event",
+        backend: str = "engine",
+        event_driven: Optional[bool] = None,
         name: str = "",
     ) -> "ScenarioSpec":
         """Extract a spec from the live objects a legacy call passes."""
@@ -150,6 +181,8 @@ class ScenarioSpec:
             indicator_lag=indicator_lag,
             max_rounds=max_rounds,
             scheduling=scheduling,
+            backend=backend,
+            event_driven=event_driven,
             name=name,
         )
 
@@ -186,6 +219,8 @@ class ScenarioSpec:
             "indicator_lag": self.indicator_lag,
             "max_rounds": self.max_rounds,
             "scheduling": self.scheduling,
+            "backend": self.backend,
+            "event_driven": self.event_driven,
             "name": self.name,
         }
 
@@ -213,6 +248,9 @@ class ScenarioSpec:
             indicator_lag=int(data["indicator_lag"]),
             max_rounds=int(data["max_rounds"]),
             scheduling=data["scheduling"],
+            # Absent in schema-version-1 payloads: engine defaults.
+            backend=data.get("backend", "engine"),
+            event_driven=data.get("event_driven"),
             name=data.get("name", ""),
         )
 
@@ -221,10 +259,18 @@ class ScenarioSpec:
 
         The label (``name``) is excluded: renaming a scenario must not
         change its identity, and deduplication across campaigns relies
-        on that.
+        on that.  The schema version and any schema-2 backend axis still
+        at its default are excluded too, so future additive schema bumps
+        stop reshuffling the addresses of scenarios they do not affect —
+        an engine-backed spec describes the same run it always did.
         """
         body = self.to_json()
         body.pop("name", None)
+        body.pop("schema", None)
+        if self.backend == "engine":
+            body.pop("backend", None)
+        if self.event_driven is None:
+            body.pop("event_driven", None)
         canonical = json.dumps(
             body, sort_keys=True, separators=(",", ":"), default=str
         )

@@ -1,0 +1,88 @@
+"""The runtime differential suite: the refactor's byte-identity proof.
+
+``golden.json`` holds fingerprints of every scenario in
+:mod:`tests.runtime._scenarios`, produced by the **pre-refactor** engine
+and kernel (the loops duplicated in ``MulticastSystem.tick`` and
+``Kernel.round`` before the ``repro.runtime.Scheduler`` extraction).
+These tests re-run the same scenarios on the current tree and demand:
+
+* **engine, scan mode** — identical :class:`RunRecord` *and* identical
+  per-round :class:`TraceRecorder` stream (the trace pins the shuffle
+  order, the scan accounting and the quiescence point);
+* **engine, event mode** — identical :class:`RunRecord` and round count
+  (the RNG-compatibility invariant: the wake-index skips happen *after*
+  the full-set shuffle, so the schedule of the processes that do act is
+  the scan schedule);
+* **kernel, both modes** — identical output queues and message-buffer
+  accounting (``sent_count`` / ``received_count`` — this is also the
+  satellite guarantee that the crash-time-driven drop schedule changes
+  no message count), with scan mode additionally pinned to the exact
+  pre-refactor step total.
+
+A failure here means the shared scheduler changed an observable
+schedule.  Fix the scheduler — never regenerate ``golden.json`` to make
+a failure disappear.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from tests.runtime._scenarios import (
+    canonical_hash,
+    engine_scenarios,
+    kernel_fingerprint,
+    kernel_scenarios,
+    record_fingerprint,
+    trace_fingerprint,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden.json")
+with open(GOLDEN_PATH, encoding="utf-8") as fh:
+    GOLDEN = json.load(fh)
+
+ENGINE_RUNS = dict(engine_scenarios())
+KERNEL_RUNS = dict(kernel_scenarios())
+
+
+def test_matrix_meets_acceptance_floor():
+    """>= 20 seeds x >= 3 topologies, crashes and participation included."""
+    keys = set(GOLDEN["engine"])
+    assert len({k.split(":")[3] for k in keys if k.count(":") == 3}) >= 20
+    assert len({k.split(":")[1] for k in keys}) >= 4
+    assert any(":crash:" in k for k in keys)
+    assert any(":participation:" in k for k in keys)
+    assert set(ENGINE_RUNS) == keys
+    assert set(KERNEL_RUNS) == set(GOLDEN["kernel"])
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["engine"]))
+def test_engine_matches_pre_refactor(key):
+    golden = GOLDEN["engine"][key]
+
+    scan = ENGINE_RUNS[key]("scan")
+    assert canonical_hash(record_fingerprint(scan.record)) == golden["record"]
+    assert canonical_hash(trace_fingerprint(scan.tracer)) == golden["trace"]
+    assert len(scan.tracer.rounds) == golden["rounds"]
+
+    event = ENGINE_RUNS[key]("event")
+    assert canonical_hash(record_fingerprint(event.record)) == golden["record"]
+    assert len(event.tracer.rounds) == golden["rounds"]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN["kernel"]))
+def test_kernel_matches_pre_refactor(key):
+    golden = GOLDEN["kernel"][key]
+
+    scan = KERNEL_RUNS[key](False)
+    assert canonical_hash(kernel_fingerprint(scan)) == golden["outputs"]
+    assert sum(scan.steps_taken.values()) == golden["steps"]
+
+    event = KERNEL_RUNS[key](True)
+    # Outputs AND buffer accounting identical: skipping idle automata
+    # and dropping crashed inboxes by schedule change no observable.
+    assert canonical_hash(kernel_fingerprint(event)) == golden["outputs"]
+    assert sum(event.steps_taken.values()) <= golden["steps"]
