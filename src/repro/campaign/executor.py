@@ -32,7 +32,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Uni
 from repro.campaign.aggregate import CampaignReport
 from repro.campaign.grid import Campaign
 from repro.metrics.sweep import SweepAggregator
-from repro.workloads.runner import run_scenario
+from repro.workloads.runner import run_scenario, triage_record
 from repro.workloads.spec import ScenarioSpec
 
 #: Execution modes of :func:`run_campaign`.
@@ -57,6 +57,9 @@ def execute_spec(task: Tuple[int, ScenarioSpec]) -> Dict[str, Any]:
             "status": "failed",
             "error": repr(exc),
             "traceback": traceback.format_exc(),
+            # Everything a replay needs, greppable from the log alone:
+            # spec hash, seed, backend, fault plan hash.
+            "triage": triage_record(spec),
             "spec": spec.to_json(),
         }
     row["index"] = index

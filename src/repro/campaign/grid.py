@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
+from repro.faults.plan import FaultPlan
 from repro.groups.topology import GroupTopology
 from repro.model.failures import FailurePattern, Time
 from repro.workloads.runner import Send
@@ -81,9 +82,9 @@ class Campaign:
 
     The expansion order is the nested product, outermost to innermost:
     cases x seeds x variants x gamma_lags x indicator_lags x
-    schedulings x backends x event_drivens.  Every expanded spec gets a
-    deterministic label of the form
-    ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>][:<backend>][:ed<0|1>]``
+    schedulings x backends x event_drivens x faults.  Every expanded
+    spec gets a deterministic label of the form
+    ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>][:<backend>][:ed<0|1>][:f<hash6>]``
     (non-default axes only, keeping labels short on simple sweeps).
 
     Attributes:
@@ -97,6 +98,10 @@ class Campaign:
         event_drivens: kernel scheduling modes; ``None`` derives the
             mode from ``scheduling``, so the default single-``None``
             axis makes a scan-vs-event sweep cover both loops.
+        faults: fault plans to sweep (the nemesis axis); ``None``
+            entries run fault-free, and the default single-``None``
+            axis keeps pre-nemesis campaigns (and their hashes)
+            unchanged.
         max_rounds: round budget shared by every scenario.
     """
 
@@ -109,6 +114,7 @@ class Campaign:
     schedulings: Tuple[str, ...] = ("event",)
     backends: Tuple[str, ...] = ("engine",)
     event_drivens: Tuple[Optional[bool], ...] = (None,)
+    faults: Tuple[Optional[FaultPlan], ...] = (None,)
     max_rounds: int = 600
 
     def __post_init__(self) -> None:
@@ -122,6 +128,7 @@ class Campaign:
             "schedulings",
             "backends",
             "event_drivens",
+            "faults",
         ):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} must be non-empty")
@@ -137,31 +144,34 @@ class Campaign:
                             for scheduling in self.schedulings:
                                 for backend in self.backends:
                                     for event_driven in self.event_drivens:
-                                        expanded.append(
-                                            ScenarioSpec(
-                                                topology=kase.topology,
-                                                crashes=kase.crashes,
-                                                sends=kase.sends,
-                                                seed=seed,
-                                                variant=variant,
-                                                gamma_lag=gamma_lag,
-                                                indicator_lag=indicator_lag,
-                                                max_rounds=self.max_rounds,
-                                                scheduling=scheduling,
-                                                backend=backend,
-                                                event_driven=event_driven,
-                                                name=self._label(
-                                                    kase.label,
-                                                    seed,
-                                                    variant,
-                                                    gamma_lag,
-                                                    indicator_lag,
-                                                    scheduling,
-                                                    backend,
-                                                    event_driven,
-                                                ),
+                                        for plan in self.faults:
+                                            expanded.append(
+                                                ScenarioSpec(
+                                                    topology=kase.topology,
+                                                    crashes=kase.crashes,
+                                                    sends=kase.sends,
+                                                    seed=seed,
+                                                    variant=variant,
+                                                    gamma_lag=gamma_lag,
+                                                    indicator_lag=indicator_lag,
+                                                    max_rounds=self.max_rounds,
+                                                    scheduling=scheduling,
+                                                    backend=backend,
+                                                    event_driven=event_driven,
+                                                    faults=plan,
+                                                    name=self._label(
+                                                        kase.label,
+                                                        seed,
+                                                        variant,
+                                                        gamma_lag,
+                                                        indicator_lag,
+                                                        scheduling,
+                                                        backend,
+                                                        event_driven,
+                                                        plan,
+                                                    ),
+                                                )
                                             )
-                                        )
         return tuple(expanded)
 
     def _label(
@@ -174,6 +184,7 @@ class Campaign:
         scheduling: str,
         backend: str,
         event_driven: Optional[bool],
+        plan: Optional[FaultPlan] = None,
     ) -> str:
         parts = [base, f"s{seed}", variant]
         if len(self.gamma_lags) > 1 or gamma_lag:
@@ -186,10 +197,28 @@ class Campaign:
             parts.append(backend)
         if len(self.event_drivens) > 1 or event_driven is not None:
             parts.append(f"ed{int(bool(event_driven))}")
+        if plan is not None:
+            parts.append(f"f{plan.plan_hash()[:6]}")
+        elif len(self.faults) > 1:
+            parts.append("f-none")
         return ":".join(parts)
 
     def to_json(self) -> Dict[str, Any]:
-        """The campaign as a JSON-ready dict (manifest material)."""
+        """The campaign as a JSON-ready dict (manifest material).
+
+        The ``faults`` axis is emitted only when it departs from the
+        fault-free default, so pre-nemesis campaigns keep the manifest
+        layout — and the :meth:`campaign_hash` — they always had.
+        """
+        body = self._base_json()
+        if self.faults != (None,):
+            body["faults"] = [
+                None if plan is None else plan.to_json()
+                for plan in self.faults
+            ]
+        return body
+
+    def _base_json(self) -> Dict[str, Any]:
         return {
             "name": self.name,
             "cases": [

@@ -49,7 +49,7 @@ must call :meth:`MulticastSystem.wake_all`.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.algorithm1 import Algorithm1Process
 from repro.detectors.indicator import IndicatorOracle
@@ -99,6 +99,7 @@ class MulticastSystem:
         seed: int = 0,
         isolation: bool = False,
         scheduling: str = "event",
+        injector: Optional[Any] = None,
     ) -> None:
         if pattern.processes != topology.processes:
             raise SimulationError("pattern and topology disagree on processes")
@@ -107,6 +108,17 @@ class MulticastSystem:
         self.topology = topology
         self.pattern = pattern
         self.variant = variant
+        #: Optional :class:`repro.faults.FaultInjector`.  The engine has
+        #: no message buffer (shared objects stand in for the network),
+        #: so only the detector-noise and churn slices of a plan apply
+        #: here: ``gamma_delay`` widens the gamma lag, ``omega_late``
+        #: postpones leader stabilization, ``sigma_noise`` pins the
+        #: quorum requirement to the full scope for the window, ``churn``
+        #: filters the scheduler.  ``None`` keeps every code path
+        #: byte-identical to the fault-free engine.
+        self.injector = injector
+        if injector is not None:
+            gamma_lag = gamma_lag + injector.extra_gamma_lag()
         self.record = RunRecord(topology.processes, pattern)
         self.tracer = TraceRecorder()
         #: Wake index: shared-object name -> processes that read it.
@@ -155,11 +167,18 @@ class MulticastSystem:
         self._rng = random.Random(seed)
         self._gamma_lag = gamma_lag
         self._indicator_lag = indicator_lag
+        if injector is not None:
+            # Late-Omega windows: postpone leader stabilization before
+            # the settle horizon is computed, so quiescence detection
+            # keeps waiting the windows out.
+            for group_name, until in injector.omega_delays():
+                self.mu.delay_omega(group_name, until)
         last_crash = max(pattern.crash_times.values(), default=0)
         self._settle_time: Time = (
             max(
                 last_crash + gamma_lag + indicator_lag,
                 self.mu.omega_settle_time(),
+                injector.horizon if injector is not None else 0,
             )
             + 1
         )
@@ -173,6 +192,7 @@ class MulticastSystem:
             responders=frozenset(
                 p for p in topology.processes if pattern.is_alive(p, 0)
             ),
+            injector=injector,
         )
 
     # -- Scheduler delegation -------------------------------------------------
@@ -258,6 +278,15 @@ class MulticastSystem:
         if any(self.pattern.is_correct(q) for q in scope):
             required = alive_scope
         else:
+            required = set(scope)
+        if self.injector is not None and self.injector.sigma_noisy(
+            frozenset(q.index for q in scope), self.time
+        ):
+            # Transient false suspicion, rendered admissibly: during the
+            # noise window the Sigma sample is pinned to the full scope,
+            # so any two samples still intersect (Intersection holds) and
+            # operations merely stall until the window closes (Liveness
+            # constrains only the suffix).
             required = set(scope)
         available = required <= self._active
         self.tracer.note_quorum_query(available)

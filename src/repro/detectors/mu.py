@@ -87,6 +87,20 @@ class Mu(FailureDetector):
     def gamma(self) -> GammaOracle:
         return self._gamma
 
+    def delay_omega(self, group_name: Optional[str], until: Time) -> None:
+        """Raise the stabilization time of ``Omega_g`` to at least ``until``.
+
+        Used by the fault layer's ``omega_late`` injector: before the new
+        stabilization time the oracle keeps reporting the smallest *alive*
+        scope member (which may be faulty and may change) — exactly the
+        arbitrary-finite-prefix misbehaviour the detector definition
+        allows.  ``group_name=None`` delays every group's oracle.  Callers
+        relying on :meth:`omega_settle_time` must re-read it afterwards.
+        """
+        for g, omega in self._omegas.items():
+            if group_name is None or g.name == group_name:
+                omega.stabilization_time = max(omega.stabilization_time, until)
+
     def omega_settle_time(self) -> Time:
         """The latest stabilization time across the ``Omega_g`` components.
 

@@ -1,0 +1,430 @@
+"""The nemesis runtime: one :class:`FaultInjector` per faulted run.
+
+A :class:`repro.faults.plan.FaultPlan` is pure data; the injector is its
+executable form, bound to one run.  The execution hosts each consult the
+slice of the injector they understand:
+
+* :class:`repro.runtime.Scheduler` asks :meth:`FaultInjector.suppresses`
+  before scheduling an actor (participation churn);
+* :class:`repro.model.messages.MessageBuffer` routes every ``send``
+  through :meth:`FaultInjector.on_send` (delay / duplicate / drop with
+  retransmit) and every ``receive`` through
+  :meth:`FaultInjector.pick_receive` (bounded reordering);
+* :class:`repro.sim.Kernel` wraps its detector modules with
+  :meth:`FaultInjector.wrap_detector` (Sigma/Omega noise);
+* :class:`repro.core.engine.MulticastSystem` consults
+  :meth:`FaultInjector.sigma_noisy`, :meth:`FaultInjector.omega_delays`
+  and :meth:`FaultInjector.extra_gamma_lag` when building its oracles
+  and evaluating its quorum guard.
+
+Three invariants keep faulted runs honest:
+
+* **No plan, no change** — hosts take ``injector=None`` and guard every
+  new branch on it, so a plan-free run is byte-identical to the
+  pre-nemesis engine (pinned by the runtime golden suite).
+* **Own RNG** — all injector randomness flows through a private
+  :class:`random.Random` seeded from ``(plan hash, run seed)``, never
+  the host's schedule RNG; a faulted run is therefore byte-replayable
+  and the schedule of the *unperturbed* actions is unchanged.
+* **Audited admissibility** — :meth:`FaultInjector.audit` re-checks,
+  after the run, that the dynamic behaviour stayed inside the model:
+  bounded duplication, every drop retransmitted, every delayed datagram
+  released by the horizon, crash monotonicity preserved.  An injector
+  can be wrong, but never silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.detectors.base import FailureDetector
+from repro.model.errors import ModelError
+from repro.model.failures import FailurePattern, Time
+from repro.faults.plan import FaultEvent, FaultPlan
+
+
+class AdmissibilityError(ModelError):
+    """A fault plan violated the model's admissibility conditions."""
+
+
+def derive_injector_seed(plan: FaultPlan, seed: int) -> int:
+    """The injector RNG seed: a pure function of (plan, run seed)."""
+    blob = f"{plan.plan_hash()}:{seed}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+class SendVerdict:
+    """What the injector decided about one datagram send.
+
+    Attributes:
+        delay: rounds before the datagram becomes receivable.
+        copies: extra duplicates to mint (each delayed like the original).
+        dropped: the original send is lost; ``retransmit_at`` names the
+            absolute time at which the link's retransmission becomes
+            receivable (never None when ``dropped`` — fair-lossy links
+            always retransmit).
+    """
+
+    __slots__ = ("delay", "copies", "dropped", "retransmit_at")
+
+    def __init__(
+        self,
+        delay: int = 0,
+        copies: int = 0,
+        dropped: bool = False,
+        retransmit_at: Optional[Time] = None,
+    ) -> None:
+        self.delay = delay
+        self.copies = copies
+        self.dropped = dropped
+        self.retransmit_at = retransmit_at
+
+
+#: The verdict of an unfaulted send — shared, immutable by convention.
+BENIGN_SEND = SendVerdict()
+
+
+class FaultInjector:
+    """One plan bound to one run: the hosts' shared nemesis.
+
+    Args:
+        plan: the perturbations to realize.
+        group_members: group name -> member *indices* (the scoping map
+            for detector events); pass
+            :func:`group_index_map` of the run's topology.
+        seed: the run's scheduling seed; the injector derives its own
+            RNG from ``(plan hash, seed)`` so fault randomness never
+            touches the host's schedule RNG stream.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        group_members: Optional[Dict[str, FrozenSet[int]]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.groups: Dict[str, FrozenSet[int]] = dict(group_members or {})
+        self.rng = random.Random(derive_injector_seed(plan, seed))
+        self.horizon: Time = plan.horizon()
+        #: What actually happened, for rows / audits / diagnostics.
+        self.stats: Dict[str, int] = {
+            "delayed": 0,
+            "duplicated": 0,
+            "dropped": 0,
+            "retransmitted": 0,
+            "reordered": 0,
+            "suppressed": 0,
+            "sigma_noised": 0,
+            "omega_rotated": 0,
+        }
+        self._delays = plan.by_kind("link_delay")
+        self._reorders = plan.by_kind("link_reorder")
+        self._dups = list(plan.by_kind("link_dup"))
+        self._drops = list(plan.by_kind("link_drop"))
+        self._dup_budget: Dict[FaultEvent, int] = {
+            e: e.amount for e in self._dups
+        }
+        self._drop_budget: Dict[FaultEvent, int] = {
+            e: e.amount for e in self._drops
+        }
+        self._sigma_noise = plan.by_kind("sigma_noise")
+        self._omega_late = plan.by_kind("omega_late")
+        self._gamma = plan.by_kind("gamma_delay")
+        self._bursts = plan.by_kind("crash_burst")
+        self._churn = plan.by_kind("churn")
+        self._base_pattern: Optional[FailurePattern] = None
+
+    # -- Failure pattern (crash bursts) -----------------------------------
+
+    def perturb_pattern(self, pattern: FailurePattern) -> FailurePattern:
+        """Apply the plan's staggered crash bursts to ``pattern``.
+
+        Monotone by construction (:meth:`FailurePattern.with_crash`
+        keeps the earliest crash time); the audit re-checks that no
+        crash moved later.
+        """
+        self._base_pattern = pattern
+        perturbed = pattern
+        for event in self._bursts:
+            for offset, index in enumerate(sorted(event.targets)):
+                for p in pattern.processes:
+                    if p.index == index:
+                        perturbed = perturbed.with_crash(
+                            p, event.start + offset * event.amount
+                        )
+                        break
+                else:
+                    raise AdmissibilityError(
+                        f"crash_burst targets unknown process index {index}"
+                    )
+        self._perturbed_pattern = perturbed
+        return perturbed
+
+    # -- Scheduler hook (participation churn) -----------------------------
+
+    def suppresses(self, key: Any, t: Time) -> bool:
+        """Whether actor ``key`` must take no step at time ``t``.
+
+        Keys without a process index (whole-system actors) are never
+        suppressed — churn is a per-process notion.
+        """
+        index = getattr(key, "index", None)
+        if index is None:
+            return False
+        for event in self._churn:
+            if index in event.targets and event.active(t):
+                self.stats["suppressed"] += 1
+                return True
+        return False
+
+    # -- Message-buffer hooks (link faults) -------------------------------
+
+    def on_send(self, src_index: int, dst_index: int, t: Time) -> SendVerdict:
+        """Judge one datagram send on the ``src -> dst`` link at ``t``."""
+        if not (self._delays or self._dups or self._drops):
+            return BENIGN_SEND
+        delay = 0
+        for event in self._delays:
+            if event.active(t) and event.matches_link(src_index, dst_index):
+                delay = max(delay, event.amount)
+        for event in self._drops:
+            if (
+                event.active(t)
+                and event.matches_link(src_index, dst_index)
+                and self._drop_budget[event] > 0
+                and self.rng.random() < 0.5
+            ):
+                self._drop_budget[event] -= 1
+                self.stats["dropped"] += 1
+                self.stats["retransmitted"] += 1
+                # Fair-lossy: the retransmission is unconditional and
+                # lands when the lossy window closes (plus transit).
+                return SendVerdict(
+                    dropped=True, retransmit_at=max(event.until, t + 1)
+                )
+        copies = 0
+        for event in self._dups:
+            if (
+                event.active(t)
+                and event.matches_link(src_index, dst_index)
+                and self._dup_budget[event] > 0
+                and self.rng.random() < 0.5
+            ):
+                self._dup_budget[event] -= 1
+                self.stats["duplicated"] += 1
+                copies += 1
+        if delay:
+            self.stats["delayed"] += 1 + copies
+        if delay == 0 and copies == 0:
+            return BENIGN_SEND
+        return SendVerdict(delay=delay, copies=copies)
+
+    def pick_receive(self, dst_index: int, ready: int, t: Time) -> int:
+        """Index (into the FIFO queue) of the datagram to extract.
+
+        Bounded adversarial reordering: during an active
+        ``link_reorder`` window the receiver gets a random datagram
+        among the first ``amount`` receivable ones; outside any window
+        (or with a single candidate) extraction is FIFO.
+        """
+        if ready <= 1:
+            return 0
+        for event in self._reorders:
+            if event.active(t) and (
+                event.dst is None or event.dst == dst_index
+            ):
+                pick = self.rng.randrange(min(event.amount, ready))
+                if pick:
+                    self.stats["reordered"] += 1
+                return pick
+        return 0
+
+    # -- Detector hooks ----------------------------------------------------
+
+    def _scope_noisy(self, scope_indices: FrozenSet[int], t: Time) -> bool:
+        for event in self._sigma_noise:
+            if not event.active(t):
+                continue
+            if event.group is None:
+                return True
+            members = self.groups.get(event.group)
+            if members is not None and scope_indices <= members:
+                return True
+        return False
+
+    def sigma_noisy(self, scope_indices: FrozenSet[int], t: Time) -> bool:
+        """Whether ``Sigma`` over this scope is inside a noise window.
+
+        During the window the sample is pinned to the *full* scope:
+        any two pinned/true samples still intersect (the true sample
+        always contains an alive scope member), so Intersection holds;
+        Liveness only constrains the suffix after the window.
+        """
+        noisy = self._scope_noisy(scope_indices, t)
+        if noisy:
+            self.stats["sigma_noised"] += 1
+        return noisy
+
+    def omega_delays(self) -> Tuple[Tuple[Optional[str], Time], ...]:
+        """The plan's ``(group, stabilization floor)`` pairs."""
+        return tuple((e.group, e.until) for e in self._omega_late)
+
+    def omega_unstable(self, scope_indices: FrozenSet[int], t: Time) -> bool:
+        """Whether ``Omega`` over this scope is still inside a noise
+        window (the reported leader may rotate among alive members)."""
+        for event in self._omega_late:
+            if t >= event.until:
+                continue
+            if event.group is None:
+                return True
+            members = self.groups.get(event.group)
+            if members is not None and scope_indices <= members:
+                return True
+        return False
+
+    def extra_gamma_lag(self) -> Time:
+        """Additional gamma detection lag contributed by the plan."""
+        return sum(e.amount for e in self._gamma)
+
+    def wrap_detector(self, detector: FailureDetector) -> FailureDetector:
+        """Wrap a kernel detector module with the plan's noise.
+
+        Only samplers exposing ``sigma`` / ``omega`` oracle attributes
+        (the :class:`repro.substrates.consensus.OmegaSigmaSampler`
+        shape) are perturbed; anything else passes through untouched.
+        """
+        if hasattr(detector, "sigma") or hasattr(detector, "omega"):
+            return _NoisySampler(detector, self)
+        return detector
+
+    # -- Audit -------------------------------------------------------------
+
+    def audit(
+        self,
+        final_time: Time,
+        buffer: Optional[Any] = None,
+        pattern: Optional[FailurePattern] = None,
+    ) -> List[str]:
+        """Post-run admissibility audit; returns violation strings.
+
+        Checks the *dynamic* half of the plan's promises (the static
+        half — finite windows, bounded budgets — is enforced by
+        :class:`repro.faults.plan.FaultEvent` validation):
+
+        * bounded duplication and loss: stats never exceed budgets;
+        * fair-lossy links: every dropped datagram was retransmitted;
+        * no forgotten datagram: once the run is past the horizon, the
+          buffer holds nothing delayed that is already receivable, and
+          nothing addressed to an alive process can still be hidden;
+        * crash monotonicity: the perturbed pattern never un-crashes or
+          postpones a crash of the base pattern.
+        """
+        violations: List[str] = []
+        dup_budget = sum(e.amount for e in self._dups)
+        if self.stats["duplicated"] > dup_budget:
+            violations.append(
+                f"duplication exceeded budget: {self.stats['duplicated']} > "
+                f"{dup_budget}"
+            )
+        drop_budget = sum(e.amount for e in self._drops)
+        if self.stats["dropped"] > drop_budget:
+            violations.append(
+                f"drops exceeded budget: {self.stats['dropped']} > "
+                f"{drop_budget}"
+            )
+        if self.stats["dropped"] != self.stats["retransmitted"]:
+            violations.append(
+                f"fair-lossy violated: {self.stats['dropped']} drops but "
+                f"{self.stats['retransmitted']} retransmissions"
+            )
+        if buffer is not None and final_time >= self.horizon:
+            overdue = buffer.overdue_delayed(final_time)
+            if overdue:
+                violations.append(
+                    f"{overdue} receivable datagram(s) still sequestered "
+                    f"in the delay queue at t={final_time}"
+                )
+        if pattern is not None and self._base_pattern is not None:
+            for p, when in self._base_pattern.crash_times.items():
+                moved = pattern.crash_times.get(p)
+                if moved is None or moved > when:
+                    violations.append(
+                        f"crash monotonicity violated at {p.name}: "
+                        f"{when} -> {moved}"
+                    )
+        return violations
+
+    def summary(self) -> Dict[str, Any]:
+        """Row-ready description of what the injector actually did."""
+        return {
+            "plan_hash": self.plan.plan_hash(),
+            "events": len(self.plan),
+            "horizon": self.horizon,
+            "stats": {k: v for k, v in self.stats.items() if v},
+        }
+
+
+class _NoisySampler(FailureDetector):
+    """A kernel detector module filtered through the plan's noise.
+
+    Wraps samplers shaped like
+    :class:`repro.substrates.consensus.OmegaSigmaSampler`: dict samples
+    with ``"sigma"`` / ``"omega"`` entries, oracles with a ``scope``.
+    During a ``sigma_noise`` window the quorum sample is pinned to the
+    full scope (operations must hear from everyone, including the
+    crashed — they stall, admissibly, until the window closes).  During
+    an ``omega_late`` window the reported leader rotates among the
+    alive scope members — deterministically by time, so replays are
+    byte-identical without consuming injector randomness.
+    """
+
+    kind = "noisy"
+
+    def __init__(self, inner: FailureDetector, injector: FaultInjector) -> None:
+        super().__init__()
+        self.inner = inner
+        self.injector = injector
+
+    def query(self, p, t):  # noqa: ANN001 - FailureDetector signature
+        sample = self.inner.query(p, t)
+        if not isinstance(sample, dict):
+            return sample
+        sample = dict(sample)
+        sigma = getattr(self.inner, "sigma", None)
+        if sigma is not None and "sigma" in sample:
+            scope = frozenset(q.index for q in sigma.scope)
+            if self.injector.sigma_noisy(scope, t):
+                sample["sigma"] = sigma.scope
+        omega = getattr(self.inner, "omega", None)
+        if omega is not None and "omega" in sample:
+            scope = frozenset(q.index for q in omega.scope)
+            if self.injector.omega_unstable(scope, t):
+                alive = [
+                    q
+                    for q in sorted(omega.scope)
+                    if omega.pattern.is_alive(q, t)
+                ]
+                if alive:
+                    self.injector.stats["omega_rotated"] += 1
+                    sample["omega"] = alive[t % len(alive)]
+        return sample
+
+
+def group_index_map(topology) -> Dict[str, FrozenSet[int]]:
+    """Group name -> member indices, the injector's scoping map."""
+    return {
+        g.name: frozenset(p.index for p in g.members)
+        for g in topology.groups
+    }
+
+
+def injector_for(
+    plan: Optional[FaultPlan], topology, seed: int = 0
+) -> Optional[FaultInjector]:
+    """An injector for ``plan`` (None when there is no plan)."""
+    if plan is None:
+        return None
+    return FaultInjector(plan, group_index_map(topology), seed=seed)

@@ -192,6 +192,53 @@ class Environment:
             return False
         return len(members) <= self.max_failures
 
+    def staggered_patterns(
+        self,
+        start: Time = 0,
+        gap: Time = 1,
+        subsets: Optional[Sequence[ProcessSet]] = None,
+    ) -> Iterator[FailurePattern]:
+        """Enumerate patterns whose faulty sets crash one member at a time.
+
+        The companion of :meth:`patterns` for *staggered* bursts: instead
+        of the whole candidate set crashing simultaneously, its members
+        (in process order) crash ``gap`` rounds apart starting at
+        ``start``.  This is the shape a nemesis ``crash_burst`` event
+        produces, and the shape under which crash-monotonicity and
+        quorum-handover bugs actually surface — simultaneous crashes let
+        an implementation conflate "the set failed" with "the set failed
+        atomically".
+
+        Yields the failure-free pattern first, then one staggered pattern
+        per candidate faulty set (every subset of non-reliable processes
+        within the bound, or the caller-provided ``subsets``), skipping
+        any that fall outside the environment.
+        """
+        if start < 0:
+            raise ModelError("staggered start must be non-negative")
+        if gap < 0:
+            raise ModelError("staggered gap must be non-negative")
+        yield failure_free(self.processes)
+        candidates: Iterable[ProcessSet]
+        if subsets is not None:
+            candidates = subsets
+        else:
+            candidates = _subsets_upto(
+                pset(self.processes - self.reliable), self.max_failures
+            )
+        for faulty in candidates:
+            if not faulty:
+                continue
+            pattern = FailurePattern(
+                self.processes,
+                {
+                    p: start + offset * gap
+                    for offset, p in enumerate(sorted(faulty))
+                },
+            )
+            if self.contains(pattern):
+                yield pattern
+
     def patterns(
         self,
         crash_time: Time = 0,

@@ -15,8 +15,9 @@ Two kinds of "message" coexist in the paper and therefore here:
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.model.errors import ModelError
@@ -128,13 +129,27 @@ class MessageBuffer:
     Fairness (every message addressed to a process taking infinitely many
     receive steps is eventually received) is the scheduler's obligation and
     is supported by FIFO extraction order per destination.
+
+    With a :class:`repro.faults.FaultInjector` attached the buffer models
+    admissible link faults: a send may be delayed (sequestered until an
+    absolute release time), duplicated (bounded extra copies) or dropped
+    with a mandatory retransmission (fair-lossy links), and extraction
+    within a reorder window picks among the first few receivable
+    datagrams instead of strict FIFO.  Without an injector every code
+    path below is byte-identical to the fault-free buffer.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, injector: Optional[Any] = None) -> None:
         self._pending: Dict[ProcessId, List[Datagram]] = {}
         self._uid = itertools.count(1)
         self.sent_count = 0
         self.received_count = 0
+        self._injector = injector
+        #: Min-heap of ``(release time, uid, datagram)`` — datagrams a
+        #: link fault is holding back; invisible to ``pending_for`` /
+        #: ``receive`` until :meth:`release` moves them over.
+        self._delayed: List[Tuple[int, int, Datagram]] = []
+        self._now: int = 0
 
     def send(
         self,
@@ -145,8 +160,28 @@ class MessageBuffer:
     ) -> Datagram:
         """Add a datagram to the buffer and return it."""
         datagram = Datagram(src=src, dst=dst, tag=tag, body=body, uid=next(self._uid))
-        self._pending.setdefault(dst, []).append(datagram)
         self.sent_count += 1
+        if self._injector is None:
+            self._pending.setdefault(dst, []).append(datagram)
+            return datagram
+        verdict = self._injector.on_send(src.index, dst.index, self._now)
+        if verdict.dropped:
+            # Fair-lossy: the drop is paired with a retransmission that
+            # becomes receivable when the lossy window closes.
+            heapq.heappush(
+                self._delayed, (verdict.retransmit_at, datagram.uid, datagram)
+            )
+            return datagram
+        for copy in (datagram,) + tuple(
+            replace(datagram, uid=next(self._uid))
+            for _ in range(verdict.copies)
+        ):
+            if verdict.delay > 0:
+                heapq.heappush(
+                    self._delayed, (self._now + verdict.delay, copy.uid, copy)
+                )
+            else:
+                self._pending.setdefault(dst, []).append(copy)
         return datagram
 
     def broadcast(
@@ -171,12 +206,17 @@ class MessageBuffer:
 
         Returns the null message when nothing is pending.  FIFO extraction
         makes the standard fairness condition easy for schedulers to honor.
+        Inside an active reorder window the injector may pick among the
+        first few receivable datagrams instead — bounded, so the fairness
+        condition still holds (every datagram drifts to the queue head).
         """
         queue = self._pending.get(p)
         if not queue:
             return NULL_MESSAGE
         self.received_count += 1
-        return queue.pop(0)
+        if self._injector is None:
+            return queue.pop(0)
+        return queue.pop(self._injector.pick_receive(p.index, len(queue), self._now))
 
     def receive_specific(self, p: ProcessId, datagram: Datagram) -> Datagram:
         """Remove a specific pending datagram (adversarial schedulers)."""
@@ -192,6 +232,33 @@ class MessageBuffer:
         never receive).  Returns the number of dropped datagrams."""
         dropped = len(self._pending.pop(p, ()))
         return dropped
+
+    def release(self, now: int) -> int:
+        """Move delayed datagrams whose release time has arrived.
+
+        Hosts with an injector call this at the top of every round
+        (before crash cleanup, so a release to a dead process is still
+        dropped the same round it lands).  Returns the number released.
+        """
+        self._now = now
+        released = 0
+        while self._delayed and self._delayed[0][0] <= now:
+            _, _, datagram = heapq.heappop(self._delayed)
+            self._pending.setdefault(datagram.dst, []).append(datagram)
+            released += 1
+        return released
+
+    def overdue_delayed(self, now: int) -> int:
+        """Delayed datagrams already receivable but not yet released.
+
+        Nonzero after a :meth:`release` sweep means a host forgot to
+        run the sweep — the admissibility audit flags it.
+        """
+        return sum(1 for ready, _, _ in self._delayed if ready <= now)
+
+    def delayed_count(self) -> int:
+        """Datagrams currently sequestered by link faults."""
+        return len(self._delayed)
 
     def in_transit(self) -> int:
         """Total number of datagrams currently buffered."""

@@ -39,6 +39,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -129,6 +130,12 @@ class Scheduler:
             before eligibility is computed (crash-time cleanup).
         responders: initial responder set (processes able to answer
             quorum requests), before any round has run.
+        injector: optional :class:`repro.faults.FaultInjector`; its
+            :meth:`~repro.faults.FaultInjector.suppresses` hook models
+            participation churn — a suppressed actor takes no step this
+            round (finite asynchrony: churn windows are bounded, so
+            fairness holds in the suffix).  ``None`` leaves every code
+            path byte-identical to the fault-free scheduler.
     """
 
     def __init__(
@@ -141,6 +148,7 @@ class Scheduler:
         settle_horizon: Optional[Callable[[], Time]] = None,
         pre_round: Optional[Callable[[Time], None]] = None,
         responders: Optional[FrozenSet[Key]] = None,
+        injector: Optional[Any] = None,
     ) -> None:
         if scheduling not in SCHEDULING_MODES:
             raise SimulationError(f"unknown scheduling mode {scheduling!r}")
@@ -151,6 +159,7 @@ class Scheduler:
         self.scheduling = scheduling
         self._settle_horizon = settle_horizon or (lambda: 0)
         self._pre_round = pre_round
+        self._injector = injector
         self.time: Time = 0
         #: Whether the most recent :meth:`run` ended in quiescence; True
         #: before any run call — nothing has been cut short yet.
@@ -189,11 +198,27 @@ class Scheduler:
             if self._is_alive(key, self.time)
             and (participation is None or key in participation)
         ]
+        if self._injector is not None:
+            # Participation churn: suppressed actors take no step this
+            # round and answer no quorum requests.  Filtered before the
+            # sort/shuffle — only faulted runs ever reach this branch,
+            # so the fault-free RNG stream is untouched.
+            order = [
+                key
+                for key in order
+                if not self._injector.suppresses(key, self.time)
+            ]
         if responders is None:
             self.responders = frozenset(order)
         else:
             self.responders = frozenset(
-                key for key in responders if self._is_alive(key, self.time)
+                key
+                for key in responders
+                if self._is_alive(key, self.time)
+                and (
+                    self._injector is None
+                    or not self._injector.suppresses(key, self.time)
+                )
             )
         order.sort()
         self._rng.shuffle(order)

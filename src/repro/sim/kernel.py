@@ -102,11 +102,21 @@ class Kernel:
         detectors: Optional[Dict[ProcessId, FailureDetector]] = None,
         seed: int = 0,
         event_driven: bool = False,
+        injector: Optional[Any] = None,
     ) -> None:
         self.pattern = pattern
         self.automata = dict(automata)
+        #: Optional :class:`repro.faults.FaultInjector` — link faults run
+        #: through the buffer, detector noise through wrapped modules,
+        #: churn through the scheduler.  ``None`` (the default) keeps
+        #: every code path byte-identical to the fault-free kernel.
+        self.injector = injector
         self.detectors = detectors or {}
-        self.buffer = MessageBuffer()
+        if injector is not None:
+            self.detectors = {
+                p: injector.wrap_detector(d) for p, d in self.detectors.items()
+            }
+        self.buffer = MessageBuffer(injector)
         self.event_driven = event_driven
         self.tracer = TraceRecorder()
         self.outputs: Dict[ProcessId, List[Tuple[Time, Any]]] = {
@@ -132,7 +142,9 @@ class Kernel:
             tracer=self.tracer,
             is_alive=pattern.is_alive,
             scheduling="event" if event_driven else "scan",
-            pre_round=self._drop_crashed,
+            pre_round=self._pre_round if injector is not None else self._drop_crashed,
+            settle_horizon=(lambda: injector.horizon) if injector is not None else None,
+            injector=injector,
         )
 
     @property
@@ -151,6 +163,14 @@ class Kernel:
         short mid-protocol.  True before any :meth:`run` call.
         """
         return self._scheduler.last_run_quiescent
+
+    def _pre_round(self, t: Time) -> None:
+        """Faulted-run round prologue: release delayed datagrams, then
+        drop the inboxes of crashed processes (in that order, so a
+        datagram released to a dead destination is dropped the same
+        round it lands)."""
+        self.buffer.release(t)
+        self._drop_crashed(t)
 
     def _drop_crashed(self, t: Time) -> None:
         """Drop pending datagrams of processes crashed by time ``t``.

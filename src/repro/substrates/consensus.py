@@ -104,6 +104,18 @@ class ConsensusAutomaton(Automaton):
             if ballot == self._ballot and self._phase == "prepare":
                 if promised <= ballot:
                     self._promises[datagram.src] = (acc_ballot, acc_value)
+                else:
+                    # Superseded mid-prepare: the acceptor has promised a
+                    # higher ballot, so this quorum can never complete.
+                    # Abandon the ballot and retry above the highest
+                    # round observed — without this, a demoted-then-
+                    # re-elected leader (an unstable Omega prefix) waits
+                    # forever on promises that cannot arrive.
+                    self._ballot = (
+                        max(self._ballot[0], promised[0]),
+                        self.pid.index,
+                    )
+                    self._phase = None
         elif tag == "ACCEPT":
             ballot, value = body
             if ballot >= self.promised:

@@ -44,9 +44,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import MulticastSystem
 from repro.core.group_sequential import AtomicMulticast
+from repro.faults.injector import AdmissibilityError, FaultInjector, injector_for
 from repro.groups.topology import GroupTopology
 from repro.metrics.trace import TraceRecorder
-from repro.model.errors import SimulationError, TopologyError
+from repro.model.errors import PropertyViolation, SimulationError, TopologyError
 from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
@@ -72,6 +73,34 @@ class Send:
     group: str
     at_round: Time = 0
     payload: object = None
+
+
+def triage_record(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The one-line repro record attached to every failure.
+
+    Carries exactly what replaying the run needs — the spec's content
+    address, the schedule seed, the backend and the fault plan hash —
+    so a red row (or a raised checker exception) is reproducible from
+    the log alone.
+    """
+    return {
+        "spec_hash": spec.spec_hash(),
+        "seed": spec.seed,
+        "backend": spec.backend,
+        "fault_plan_hash": (
+            spec.faults.plan_hash() if spec.faults is not None else None
+        ),
+    }
+
+
+def triage_line(spec: ScenarioSpec) -> str:
+    """:func:`triage_record` rendered as one greppable line."""
+    record = triage_record(spec)
+    return (
+        f"[triage spec_hash={record['spec_hash']} seed={record['seed']} "
+        f"backend={record['backend']} "
+        f"fault_plan={record['fault_plan_hash'] or '-'}]"
+    )
 
 
 @dataclass
@@ -112,6 +141,9 @@ class ScenarioResult:
     truncated: bool = False
     quiescent: bool = True
     kernel: Optional[Kernel] = None
+    #: The bound :class:`repro.faults.FaultInjector` of a faulted run
+    #: (``None`` for fault-free runs) — its stats feed the result row.
+    injector: Optional[FaultInjector] = None
 
     @property
     def backend(self) -> str:
@@ -178,7 +210,35 @@ class ScenarioResult:
             },
             "spec": self.spec.to_json() if self.spec else None,
         }
+        if self.injector is not None:
+            row["faults"] = self.injector.summary()
         return row
+
+    def assert_ok(self) -> None:
+        """Raise :class:`PropertyViolation` unless every checker passes.
+
+        Unlike a bare assertion on :func:`batch_verdicts`, the raised
+        exception carries the triage line (spec hash, seed, backend,
+        fault plan hash), so a red run is replayable from the error
+        message alone.
+        """
+        from repro.props.batch import batch_verdicts, variant_checks
+
+        verdicts = batch_verdicts(
+            self.record,
+            extra=variant_checks(self.spec.variant if self.spec else ""),
+        )
+        suffix = f" {triage_line(self.spec)}" if self.spec else ""
+        bad = {name: count for name, count in verdicts.items() if count}
+        if bad:
+            raise PropertyViolation(
+                "+".join(sorted(bad)), f"violation counts {bad}{suffix}"
+            )
+        if self.truncated:
+            raise PropertyViolation(
+                "termination",
+                f"run truncated before quiescence — proves nothing{suffix}",
+            )
 
 
 #: Legacy positional order of the tuning parameters (after the three
@@ -319,9 +379,15 @@ def _execute(
         topology = spec.build_topology()
     if pattern is None:
         pattern = spec.build_pattern()
+    injector = injector_for(spec.faults, topology, seed=spec.seed)
+    if injector is not None:
+        # Crash bursts perturb the failure pattern *before* the system
+        # is built, so detectors, settle horizons and the record all see
+        # the faulted pattern.
+        pattern = injector.perturb_pattern(pattern)
     if spec.backend == "kernel":
         return _execute_kernel(
-            spec, topology, pattern, trace_path=trace_path
+            spec, topology, pattern, injector, trace_path=trace_path
         )
     system = MulticastSystem(
         topology,
@@ -331,6 +397,7 @@ def _execute(
         indicator_lag=spec.indicator_lag,
         seed=spec.seed,
         scheduling=spec.scheduling,
+        injector=injector,
     )
     multicaster = AtomicMulticast(system)
     pending = sorted(spec.sends, key=lambda s: s.at_round)
@@ -362,6 +429,7 @@ def _execute(
     budget = max(0, spec.max_rounds - rounds)
     rounds += multicaster.run(max_rounds=budget)
     truncated = bool(unsent) or not system.last_run_quiescent
+    _audit_injector(injector, spec, system.time, pattern=pattern)
     if trace_path is not None:
         system.tracer.write_jsonl(
             trace_path,
@@ -387,13 +455,36 @@ def _execute(
         spec=spec,
         truncated=truncated,
         quiescent=system.last_run_quiescent,
+        injector=injector,
     )
+
+
+def _audit_injector(
+    injector: Optional[FaultInjector],
+    spec: ScenarioSpec,
+    final_time: Time,
+    buffer: Optional[Any] = None,
+    pattern: Optional[FailurePattern] = None,
+) -> None:
+    """Post-run admissibility audit — a violating injector never passes
+    silently (raises :class:`AdmissibilityError` with the triage line)."""
+    if injector is None:
+        return
+    violations = injector.audit(final_time, buffer=buffer, pattern=pattern)
+    if violations:
+        raise AdmissibilityError(
+            "fault plan left the admissible envelope: "
+            + "; ".join(violations)
+            + " "
+            + triage_line(spec)
+        )
 
 
 def _execute_kernel(
     spec: ScenarioSpec,
     topology: GroupTopology,
     pattern: FailurePattern,
+    injector: Optional[FaultInjector] = None,
     trace_path: Optional[str] = None,
 ) -> ScenarioResult:
     """Run one spec on the Appendix-A kernel backend.
@@ -435,6 +526,7 @@ def _execute_kernel(
         detectors,
         seed=spec.seed,
         event_driven=spec.kernel_event_driven(),
+        injector=injector,
     )
     record = RunRecord(topology.processes, pattern)
     factory = MessageFactory()
@@ -474,6 +566,9 @@ def _execute_kernel(
     rounds += kernel.run(budget, quiescent_rounds=2)
     quiescent = kernel.last_run_quiescent
     truncated = bool(unsent) or not quiescent
+    _audit_injector(
+        injector, spec, kernel.time, buffer=kernel.buffer, pattern=pattern
+    )
     # Synthesize the delivery trace: a replica delivered m when its log
     # applied m's id.  Sorted by (time, process, apply order) so the
     # global event list is deterministic; per-process order is the apply
@@ -516,6 +611,7 @@ def _execute_kernel(
         truncated=truncated,
         quiescent=quiescent,
         kernel=kernel,
+        injector=injector,
     )
 
 

@@ -28,15 +28,17 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.groups.topology import GroupTopology, topology_from_indices
 from repro.model.errors import SimulationError
 from repro.model.failures import FailurePattern, Time
 from repro.model.processes import ProcessId, make_processes, pset
 
 #: Bumped on breaking changes to the spec JSON layout.  Version 2 added
-#: the execution-backend axes (``backend``, ``event_driven``); version-1
-#: payloads load unchanged with the engine defaults.
-SPEC_SCHEMA_VERSION = 2
+#: the execution-backend axes (``backend``, ``event_driven``); version 3
+#: added the ``faults`` axis (a :class:`repro.faults.FaultPlan`).  Older
+#: payloads load unchanged with the fault-free defaults.
+SPEC_SCHEMA_VERSION = 3
 
 #: The execution backends a scenario can run on: the round-based
 #: shared-object engine of §4.4 or the step-level Appendix-A kernel.
@@ -119,6 +121,11 @@ class ScenarioSpec:
             derives it from ``scheduling`` (``"event"`` → ``True``), so
             a scan-vs-event sweep exercises both loops with one axis; an
             explicit boolean overrides.  Ignored by the engine backend.
+        faults: optional :class:`repro.faults.FaultPlan` — the nemesis
+            perturbations applied to the run (schema v3).  ``None``, the
+            default, runs fault-free and is excluded from
+            :meth:`spec_hash`, so pre-nemesis scenario addresses are
+            stable.
         name: free-form label for reports.  Excluded from equality and
             from :meth:`spec_hash` — a label is not part of the
             scenario's identity.
@@ -135,6 +142,7 @@ class ScenarioSpec:
     scheduling: str = "event"
     backend: str = "engine"
     event_driven: Optional[bool] = None
+    faults: Optional["FaultPlan"] = None
     name: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -166,6 +174,7 @@ class ScenarioSpec:
         scheduling: str = "event",
         backend: str = "engine",
         event_driven: Optional[bool] = None,
+        faults: Optional[FaultPlan] = None,
         name: str = "",
     ) -> "ScenarioSpec":
         """Extract a spec from the live objects a legacy call passes."""
@@ -183,8 +192,13 @@ class ScenarioSpec:
             scheduling=scheduling,
             backend=backend,
             event_driven=event_driven,
+            faults=faults,
             name=name,
         )
+
+    def faulted(self, plan: Optional[FaultPlan]) -> "ScenarioSpec":
+        """The same scenario under a (possibly absent) fault plan."""
+        return replace(self, faults=plan)
 
     def labelled(self, name: str) -> "ScenarioSpec":
         """The same scenario under a different report label."""
@@ -221,6 +235,7 @@ class ScenarioSpec:
             "scheduling": self.scheduling,
             "backend": self.backend,
             "event_driven": self.event_driven,
+            "faults": None if self.faults is None else self.faults.to_json(),
             "name": self.name,
         }
 
@@ -251,6 +266,12 @@ class ScenarioSpec:
             # Absent in schema-version-1 payloads: engine defaults.
             backend=data.get("backend", "engine"),
             event_driven=data.get("event_driven"),
+            # Absent before schema version 3: fault-free.
+            faults=(
+                FaultPlan.from_json(data["faults"])
+                if data.get("faults") is not None
+                else None
+            ),
             name=data.get("name", ""),
         )
 
@@ -271,6 +292,8 @@ class ScenarioSpec:
             body.pop("backend", None)
         if self.event_driven is None:
             body.pop("event_driven", None)
+        if self.faults is None:
+            body.pop("faults", None)
         canonical = json.dumps(
             body, sort_keys=True, separators=(",", ":"), default=str
         )

@@ -1,0 +1,268 @@
+"""Tests for the fault injector: hooks, budgets, audit."""
+
+import pytest
+
+from repro.faults.injector import (
+    AdmissibilityError,
+    BENIGN_SEND,
+    FaultInjector,
+    derive_injector_seed,
+    group_index_map,
+    injector_for,
+)
+from repro.faults.plan import FaultEvent, FaultPlan, plan_of
+from repro.model.failures import crash_pattern, failure_free
+from repro.model.messages import MessageBuffer
+from repro.model.processes import make_processes, pset
+from repro.workloads.topologies import disjoint_topology
+
+PROCS = make_processes(4)
+ALL = pset(PROCS)
+P1, P2, P3, P4 = PROCS
+
+
+def make_injector(*events, seed=0):
+    return FaultInjector(plan_of(*events), seed=seed)
+
+
+class TestSeedDerivation:
+    def test_pure_function_of_plan_and_seed(self):
+        plan = plan_of(FaultEvent(kind="link_delay", until=4, amount=2))
+        assert derive_injector_seed(plan, 3) == derive_injector_seed(plan, 3)
+        assert derive_injector_seed(plan, 3) != derive_injector_seed(plan, 4)
+        other = plan_of(FaultEvent(kind="link_delay", until=5, amount=2))
+        assert derive_injector_seed(plan, 3) != derive_injector_seed(other, 3)
+
+    def test_injector_for_returns_none_without_plan(self):
+        topology = disjoint_topology(2, group_size=3)
+        assert injector_for(None, topology) is None
+        injector = injector_for(FaultPlan(), topology, seed=7)
+        assert injector is not None
+        assert injector.groups == group_index_map(topology)
+
+
+class TestLinkHooks:
+    def test_delay_is_the_max_over_active_windows(self):
+        injector = make_injector(
+            FaultEvent(kind="link_delay", start=0, until=10, amount=2),
+            FaultEvent(kind="link_delay", start=0, until=10, amount=5),
+        )
+        verdict = injector.on_send(1, 2, 3)
+        assert verdict.delay == 5
+        assert injector.on_send(1, 2, 50) is BENIGN_SEND
+
+    def test_drop_budget_is_bounded_and_always_retransmits(self):
+        event = FaultEvent(kind="link_drop", start=0, until=10, amount=2)
+        injector = make_injector(event)
+        drops = [
+            v for t in range(10) for v in [injector.on_send(1, 2, t)] if v.dropped
+        ]
+        assert len(drops) <= 2
+        assert injector.stats["dropped"] == injector.stats["retransmitted"]
+        for verdict in drops:
+            assert verdict.retransmit_at is not None
+            assert verdict.retransmit_at >= event.until or verdict.retransmit_at > 0
+
+    def test_dup_budget_is_bounded(self):
+        injector = make_injector(
+            FaultEvent(kind="link_dup", start=0, until=20, amount=3)
+        )
+        copies = sum(injector.on_send(1, 2, t).copies for t in range(20))
+        assert copies <= 3
+        assert injector.stats["duplicated"] == copies
+
+    def test_pick_receive_is_fifo_outside_windows(self):
+        injector = make_injector(
+            FaultEvent(kind="link_reorder", start=5, until=8, amount=3)
+        )
+        assert injector.pick_receive(1, 4, 0) == 0
+        assert injector.pick_receive(1, 4, 9) == 0
+
+    def test_pick_receive_stays_inside_the_window(self):
+        injector = make_injector(
+            FaultEvent(kind="link_reorder", start=0, until=50, amount=3)
+        )
+        picks = {injector.pick_receive(1, 10, t) for t in range(50)}
+        assert picks <= {0, 1, 2}
+        assert len(picks) > 1  # the adversary actually reorders
+
+    def test_single_candidate_is_never_reordered(self):
+        injector = make_injector(
+            FaultEvent(kind="link_reorder", start=0, until=50, amount=4)
+        )
+        assert all(injector.pick_receive(1, 1, t) == 0 for t in range(50))
+
+
+class TestScheduleHooks:
+    def test_churn_suppresses_targets_inside_the_window(self):
+        injector = make_injector(
+            FaultEvent(kind="churn", start=3, until=6, targets=(2,))
+        )
+        assert injector.suppresses(P2, 4)
+        assert not injector.suppresses(P2, 2)
+        assert not injector.suppresses(P2, 6)
+        assert not injector.suppresses(P1, 4)
+        assert not injector.suppresses(object(), 4)  # indexless actor
+
+    def test_crash_burst_staggers_crashes(self):
+        injector = make_injector(
+            FaultEvent(kind="crash_burst", start=5, amount=3, targets=(2, 4))
+        )
+        pattern = injector.perturb_pattern(failure_free(ALL))
+        assert pattern.crash_times[P2] == 5
+        assert pattern.crash_times[P4] == 8
+
+    def test_crash_burst_keeps_monotonicity(self):
+        injector = make_injector(
+            FaultEvent(kind="crash_burst", start=9, amount=0, targets=(1,))
+        )
+        base = crash_pattern(ALL, {P1: 4})
+        assert injector.perturb_pattern(base).crash_times[P1] == 4
+
+    def test_unknown_burst_target_is_rejected(self):
+        injector = make_injector(
+            FaultEvent(kind="crash_burst", start=1, targets=(9,))
+        )
+        with pytest.raises(AdmissibilityError):
+            injector.perturb_pattern(failure_free(ALL))
+
+
+class TestDetectorHooks:
+    def test_sigma_noise_scopes_by_group(self):
+        plan = plan_of(
+            FaultEvent(kind="sigma_noise", group="g1", start=2, until=5)
+        )
+        injector = FaultInjector(
+            plan, {"g1": frozenset({1, 2}), "g2": frozenset({3, 4})}
+        )
+        assert injector.sigma_noisy(frozenset({1, 2}), 3)
+        assert not injector.sigma_noisy(frozenset({3, 4}), 3)
+        assert not injector.sigma_noisy(frozenset({1, 2}), 5)
+
+    def test_global_sigma_noise_covers_every_scope(self):
+        injector = make_injector(
+            FaultEvent(kind="sigma_noise", start=0, until=4)
+        )
+        assert injector.sigma_noisy(frozenset({1, 2, 3}), 1)
+
+    def test_omega_delays_and_instability(self):
+        injector = make_injector(
+            FaultEvent(kind="omega_late", group="g2", until=7)
+        )
+        assert injector.omega_delays() == (("g2", 7),)
+        injector.groups = {"g2": frozenset({3, 4})}
+        assert injector.omega_unstable(frozenset({3, 4}), 5)
+        assert not injector.omega_unstable(frozenset({3, 4}), 7)
+
+    def test_gamma_lag_accumulates(self):
+        injector = make_injector(
+            FaultEvent(kind="gamma_delay", amount=2),
+            FaultEvent(kind="gamma_delay", amount=3),
+        )
+        assert injector.extra_gamma_lag() == 5
+
+
+class TestBufferIntegration:
+    def test_delayed_datagram_is_invisible_until_release(self):
+        injector = make_injector(
+            FaultEvent(kind="link_delay", start=0, until=5, amount=3)
+        )
+        buffer = MessageBuffer(injector)
+        buffer.release(0)
+        buffer.send(P1, P2, "PING")
+        assert not buffer.has_pending(P2)
+        assert buffer.delayed_count() == 1
+        buffer.release(2)
+        assert not buffer.has_pending(P2)
+        buffer.release(3)
+        assert buffer.has_pending(P2)
+        assert buffer.receive(P2).tag == "PING"
+
+    def test_duplicates_get_fresh_uids(self):
+        injector = make_injector(
+            FaultEvent(kind="link_dup", start=0, until=10, amount=5)
+        )
+        buffer = MessageBuffer(injector)
+        buffer.release(0)
+        for _ in range(10):
+            buffer.send(P1, P2, "PING")
+        queue = buffer.pending_for(P2)
+        assert len(queue) == 10 + injector.stats["duplicated"]
+        assert len({d.uid for d in queue}) == len(queue)
+
+    def test_dropped_datagram_is_retransmitted(self):
+        event = FaultEvent(kind="link_drop", start=0, until=4, amount=10)
+        injector = make_injector(event)
+        buffer = MessageBuffer(injector)
+        sent = dropped = 0
+        for t in range(4):
+            buffer.release(t)
+            buffer.send(P1, P2, "PING", (t,))
+            sent += 1
+        dropped = injector.stats["dropped"]
+        assert dropped > 0
+        buffer.release(event.until + 1)
+        assert len(buffer.pending_for(P2)) == sent
+        assert buffer.delayed_count() == 0
+
+    def test_without_injector_buffer_is_fifo(self):
+        buffer = MessageBuffer()
+        buffer.send(P1, P2, "A")
+        buffer.send(P1, P2, "B")
+        assert buffer.receive(P2).tag == "A"
+        assert buffer.receive(P2).tag == "B"
+
+
+class TestAudit:
+    def test_clean_run_audits_clean(self):
+        injector = make_injector(
+            FaultEvent(kind="link_drop", start=0, until=4, amount=2)
+        )
+        buffer = MessageBuffer(injector)
+        for t in range(8):
+            buffer.release(t)
+            buffer.send(P1, P2, "PING", (t,))
+        buffer.release(injector.horizon)
+        assert injector.audit(injector.horizon, buffer=buffer) == []
+
+    def test_unbalanced_drops_are_flagged(self):
+        injector = make_injector(
+            FaultEvent(kind="link_drop", start=0, until=4, amount=2)
+        )
+        injector.stats["dropped"] = 1  # a drop without its retransmission
+        violations = injector.audit(10)
+        assert any("fair-lossy" in v for v in violations)
+
+    def test_budget_overruns_are_flagged(self):
+        injector = make_injector(
+            FaultEvent(kind="link_dup", start=0, until=4, amount=1)
+        )
+        injector.stats["duplicated"] = 5
+        violations = injector.audit(10)
+        assert any("budget" in v for v in violations)
+
+    def test_sequestered_datagrams_past_horizon_are_flagged(self):
+        injector = make_injector(
+            FaultEvent(kind="link_delay", start=0, until=3, amount=2)
+        )
+        buffer = MessageBuffer(injector)
+        buffer.release(0)
+        buffer.send(P1, P2, "PING")  # delayed, never released
+        violations = injector.audit(injector.horizon, buffer=buffer)
+        assert any("sequestered" in v for v in violations)
+
+    def test_crash_monotonicity_violation_is_flagged(self):
+        injector = make_injector(
+            FaultEvent(kind="crash_burst", start=2, targets=(1,))
+        )
+        injector.perturb_pattern(crash_pattern(ALL, {P1: 4}))
+        tampered = crash_pattern(ALL, {P1: 9})
+        violations = injector.audit(10, pattern=tampered)
+        assert any("monotonicity" in v for v in violations)
+
+    def test_summary_reports_plan_identity(self):
+        plan = plan_of(FaultEvent(kind="gamma_delay", amount=1))
+        injector = FaultInjector(plan)
+        summary = injector.summary()
+        assert summary["plan_hash"] == plan.plan_hash()
+        assert summary["events"] == 1

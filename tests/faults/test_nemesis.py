@@ -1,0 +1,68 @@
+"""Tests for the random nemesis: plan generation and the smoke matrix.
+
+``test_matrix_passes_every_checker`` is the acceptance gate of the
+fault layer: Algorithm 1 on the Figure 1 topology (engine backend) and
+the Appendix-A kernel on a disjoint grid, under every injector mix at
+smoke intensity, across 20 seeds — every §2.2 checker must hold and
+every run must stay inside the admissibility envelope (the auditor
+raises otherwise, which surfaces here as a scenario failure).
+"""
+
+import pytest
+
+from repro.faults.__main__ import matrix_specs
+from repro.faults.nemesis import MIXES, nemesis_plans, random_plan
+from repro.faults.plan import DETECTOR_KINDS, LINK_KINDS
+from repro.model.errors import ModelError
+from repro.workloads.runner import run_scenario
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        for mix in MIXES:
+            a = random_plan(11, mix, process_count=5, groups=("g1", "g2"))
+            b = random_plan(11, mix, process_count=5, groups=("g1", "g2"))
+            assert a == b
+            assert a.plan_hash() == b.plan_hash()
+
+    def test_different_seeds_differ(self):
+        plans = {random_plan(seed, "full", process_count=5).plan_hash()
+                 for seed in range(10)}
+        assert len(plans) > 1
+
+    def test_unknown_mix_is_rejected(self):
+        with pytest.raises(ModelError):
+            random_plan(0, "everything")
+
+    def test_mixes_draw_from_their_kinds(self):
+        for seed in range(10):
+            links = random_plan(seed, "links", process_count=5)
+            assert {e.kind for e in links} <= set(LINK_KINDS)
+            detectors = random_plan(seed, "detectors", groups=("g1",))
+            assert {e.kind for e in detectors} <= set(DETECTOR_KINDS)
+
+    def test_every_plan_has_a_finite_horizon(self):
+        for mix in MIXES:
+            for seed in range(20):
+                plan = random_plan(
+                    seed, mix, process_count=5, groups=("g1",),
+                    with_crashes=True,
+                )
+                assert plan.horizon() < 100
+
+    def test_plan_grid_is_keyed_by_mix_and_seed(self):
+        grid = nemesis_plans(range(3), mixes=("links", "full"))
+        assert set(grid) == {(m, s) for m in ("links", "full") for s in range(3)}
+
+
+class TestSmokeMatrix:
+    def test_matrix_covers_backends_mixes_and_seeds(self):
+        specs = matrix_specs(seeds=2)
+        assert len(specs) == 2 * len(MIXES) * 2
+        assert {s.backend for s in specs} == {"engine", "kernel"}
+        assert all(s.faults is not None for s in specs)
+
+    def test_matrix_passes_every_checker(self):
+        for spec in matrix_specs(seeds=20):
+            result = run_scenario(spec)
+            result.assert_ok()

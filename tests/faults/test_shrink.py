@@ -1,0 +1,132 @@
+"""Tests for ddmin counterexample shrinking and repro files."""
+
+import pytest
+
+from repro.faults.nemesis import random_plan
+from repro.faults.plan import FaultEvent, FaultPlan, plan_of
+from repro.faults.shrink import (
+    PlanShrinker,
+    harness_violates,
+    load_repro,
+    replay_repro,
+    repro_payload,
+    run_harness,
+    shrink_plan,
+    write_repro,
+)
+from repro.workloads.runner import Send
+from repro.workloads.spec import ScenarioSpec, TopologySpec
+from repro.workloads.topologies import disjoint_topology
+
+TOPOLOGY = TopologySpec.capture(disjoint_topology(2, group_size=3))
+
+
+def spec_with(plan=None, sends=(Send(1, "g1", 0),), **kwargs):
+    return ScenarioSpec(
+        topology=TOPOLOGY, sends=tuple(sends), faults=plan, **kwargs
+    )
+
+
+def noise_events(n):
+    """n distinct, individually inert events for synthetic predicates."""
+    return [
+        FaultEvent(kind="gamma_delay", amount=i + 1) for i in range(n)
+    ]
+
+
+CULPRIT_A = FaultEvent(kind="link_delay", start=1, until=4, amount=2)
+CULPRIT_B = FaultEvent(kind="sigma_noise", start=2, until=5)
+
+
+class TestDdmin:
+    def test_shrinks_to_the_exact_culprit_pair(self):
+        # Synthetic failure: the run "violates" iff both culprits are in
+        # the plan.  ddmin must isolate exactly that pair.
+        plan = FaultPlan(tuple(noise_events(6)) + (CULPRIT_A, CULPRIT_B))
+
+        def violates(spec):
+            events = set(spec.faults or FaultPlan())
+            return CULPRIT_A in events and CULPRIT_B in events
+
+        shrinker = PlanShrinker(spec_with(), violates)
+        minimal = shrinker.shrink(plan)
+        assert minimal == plan_of(CULPRIT_A, CULPRIT_B)
+        assert len(minimal) <= 3
+
+    def test_single_culprit(self):
+        plan = FaultPlan(tuple(noise_events(7)) + (CULPRIT_A,))
+
+        def violates(spec):
+            return CULPRIT_A in set(spec.faults or FaultPlan())
+
+        minimal = PlanShrinker(spec_with(), violates).shrink(plan)
+        assert minimal == plan_of(CULPRIT_A)
+
+    def test_intrinsic_failure_shrinks_to_the_empty_plan(self):
+        shrinker = PlanShrinker(spec_with(), lambda spec: True)
+        minimal = shrinker.shrink(FaultPlan(tuple(noise_events(5))))
+        assert minimal.is_empty()
+        # One evaluation for the starting plan, one for the empty plan.
+        assert shrinker.evaluations == 2
+
+    def test_passing_plan_is_rejected(self):
+        with pytest.raises(ValueError):
+            PlanShrinker(spec_with(), lambda spec: False).shrink(
+                FaultPlan(tuple(noise_events(3)))
+            )
+
+    def test_evaluations_are_memoized(self):
+        seen = []
+
+        def violates(spec):
+            plan = spec.faults or FaultPlan()
+            seen.append(plan.plan_hash())
+            return CULPRIT_A in set(plan)
+
+        shrinker = PlanShrinker(spec_with(), violates)
+        shrinker.shrink(FaultPlan((CULPRIT_A,) + tuple(noise_events(4))))
+        assert len(seen) == len(set(seen))
+        assert shrinker.evaluations == len(seen)
+
+
+class TestBroadcastBaseline:
+    """The §2.3 non-genuine baseline: the canonical shrinker fixture."""
+
+    def test_violation_is_intrinsic_so_minimal_plan_is_empty(self):
+        plan = random_plan(7, "full", process_count=6, groups=("g1", "g2"))
+        spec = spec_with(plan)
+        minimal, shrinker = shrink_plan(spec, harness="broadcast")
+        assert minimal.is_empty()
+        assert len(minimal) <= 3
+        assert shrinker.evaluations == 2
+
+    def test_repro_file_round_trips_and_replays(self, tmp_path):
+        plan = random_plan(7, "full", process_count=6, groups=("g1", "g2"))
+        spec = spec_with(plan)
+        minimal, _ = shrink_plan(spec, harness="broadcast")
+        payload = repro_payload(spec, minimal, plan, harness="broadcast")
+        assert payload["kind"] == "fault-repro"
+        assert payload["original_events"] == len(plan)
+        assert payload["minimal_events"] == 0
+        assert payload["verdicts"]["minimality"] > 0
+
+        path = tmp_path / "repro.json"
+        write_repro(str(path), payload)
+        loaded = load_repro(str(path))
+        assert loaded == payload
+        replay = replay_repro(loaded)
+        assert replay["verdicts"] == payload["verdicts"]
+        assert replay["truncated"] == payload["truncated"]
+
+    def test_genuine_scenario_passes_the_broadcast_spec(self):
+        # Sanity: the same spec under the real protocol has no violation,
+        # so the shrinker correctly refuses to "shrink" it.
+        spec = spec_with(None)
+        outcome = run_harness("scenario", spec)
+        assert not outcome["truncated"]
+        assert all(v == 0 for v in outcome["verdicts"].values())
+        assert not harness_violates("scenario")(spec)
+
+    def test_unknown_harness_is_rejected(self):
+        with pytest.raises(ValueError):
+            run_harness("chaos", spec_with())
