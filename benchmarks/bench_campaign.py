@@ -181,3 +181,89 @@ def test_campaign_beats_the_retired_harness_loop(benchmark):
         f"campaign executor must beat the retired 3x-per-scenario harness "
         f"loop at least 2x, measured {speedup:.2f}x"
     )
+
+
+def test_cold_vs_warm_vs_resume_cache(tmp_path):
+    """The scale-out layer's acceptance numbers, recorded in
+    ``BENCH_campaign.json`` at the repo root.
+
+    Three sweeps of the 40-scenario matrix: a cold run that fills the
+    result cache, a warm rerun that must execute nothing and replay
+    byte-identical artifacts at least 5x faster, and a resumed run that
+    continues a 50%-interrupted sweep (warm cells replayed from cache)
+    to the same bytes.
+    """
+    import json
+    import time
+
+    campaign = matrix_campaign()
+    specs = campaign.specs()
+    cache_dir = str(tmp_path / "cache")
+
+    cold = run_campaign(campaign, cache=cache_dir, out_dir=str(tmp_path / "cold"))
+    assert cold.executed == len(specs) and cold.summary["failed"] == 0
+
+    warm = run_campaign(campaign, cache=cache_dir, out_dir=str(tmp_path / "warm"))
+    assert warm.executed == 0 and warm.cached == len(specs)
+    with open(tmp_path / "cold" / "results.jsonl", "rb") as fh:
+        cold_bytes = fh.read()
+    with open(tmp_path / "warm" / "results.jsonl", "rb") as fh:
+        assert fh.read() == cold_bytes
+
+    # Interrupt an uncached sweep at 50%, then resume with the cache.
+    part = str(tmp_path / "part")
+    stop = {"n": 0}
+
+    def bomb(row):
+        stop["n"] += 1
+        if stop["n"] == len(specs) // 2:
+            raise KeyboardInterrupt
+
+    try:
+        run_campaign(campaign, out_dir=part, on_row=bomb)
+    except KeyboardInterrupt:
+        pass
+    started = time.perf_counter()
+    resumed = run_campaign(campaign, out_dir=part, resume=True, cache=cache_dir)
+    resume_elapsed = time.perf_counter() - started
+    assert resumed.executed == 0  # every missing cell came from the cache
+    with open(tmp_path / "part" / "results.jsonl", "rb") as fh:
+        assert fh.read() == cold_bytes
+
+    speedup = cold.elapsed / warm.elapsed if warm.elapsed else float("inf")
+    ROWS.append(("cold (fills cache)", len(specs), round(cold.elapsed, 3), ""))
+    ROWS.append(
+        ("warm (cache replay)", len(specs), round(warm.elapsed, 3), f"{speedup:.1f}x vs cold")
+    )
+    ROWS.append(
+        (
+            "resume at 50% (warm)",
+            len(specs),
+            round(resume_elapsed, 3),
+            f"{resumed.resumed} resumed + {resumed.cached} cached",
+        )
+    )
+
+    bench_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_campaign.json")
+    with open(bench_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "grid": len(specs),
+                "cold_seconds": round(cold.elapsed, 4),
+                "warm_seconds": round(warm.elapsed, 4),
+                "resume_seconds": round(resume_elapsed, 4),
+                "warm_speedup": round(speedup, 2),
+                "resumed_rows": resumed.resumed,
+                "cached_rows": resumed.cached,
+                "byte_identical": True,
+            },
+            fh,
+            indent=2,
+            sort_keys=True,
+        )
+        fh.write("\n")
+
+    assert speedup >= 5.0, (
+        f"warm cache replay must be at least 5x faster than the cold "
+        f"sweep, measured {speedup:.2f}x"
+    )

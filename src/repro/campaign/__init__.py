@@ -13,11 +13,36 @@ The pipeline is ``spec -> executor -> aggregator``:
    sweep as a ``manifest.json`` + ``results.jsonl`` pair whose bytes do
    not depend on how the sweep was executed.
 
+The scale-out layer rides on the same pipeline: a
+:class:`repro.campaign.cache.CampaignCache` replays previously executed
+cells byte-identically (``run_campaign(cache=...)``), ``out_dir=``
+streams the artifacts row-by-row in O(1) memory, ``resume=True``
+continues an interrupted sweep from its first missing cell, and
+``shard=(k, n)`` splits the grid by cache-key prefix for multi-host
+sweeps.
+
 ``python -m repro.campaign`` runs a small built-in smoke sweep (see
 :mod:`repro.campaign.__main__`).
 """
 
-from repro.campaign.aggregate import CAMPAIGN_SCHEMA_VERSION, CampaignReport
+from repro.campaign.aggregate import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignReport,
+    PartialScan,
+    ResultsWriter,
+    meta_line,
+    row_line,
+    scan_partial_results,
+    summary_line,
+    write_manifest,
+)
+from repro.campaign.cache import (
+    CACHE_SCHEMA_VERSION,
+    CampaignCache,
+    ensure_cache,
+    shard_cells,
+    shard_of,
+)
 from repro.campaign.executor import (
     MODES,
     execute_spec,
@@ -27,13 +52,25 @@ from repro.campaign.executor import (
 from repro.campaign.grid import Campaign, CampaignCase, case
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "CAMPAIGN_SCHEMA_VERSION",
+    "Campaign",
+    "CampaignCache",
+    "CampaignCase",
     "CampaignReport",
     "MODES",
+    "PartialScan",
+    "ResultsWriter",
+    "case",
+    "ensure_cache",
     "execute_spec",
     "iter_campaign_rows",
+    "meta_line",
+    "row_line",
     "run_campaign",
-    "Campaign",
-    "CampaignCase",
-    "case",
+    "scan_partial_results",
+    "shard_cells",
+    "shard_of",
+    "summary_line",
+    "write_manifest",
 ]

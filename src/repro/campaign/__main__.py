@@ -135,7 +135,29 @@ def main(argv=None) -> int:
         "--out",
         metavar="DIR",
         default=None,
-        help="directory to write manifest.json + results.jsonl into",
+        help="directory to stream manifest.json + results.jsonl into "
+        "(rows are written as they finish, not at the end)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result cache directory: cells already executed under the "
+        "same (spec_hash, seed, backend, fault_plan) replay their stored "
+        "row instead of re-running",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a partial results.jsonl in --out from its first "
+        "missing row (requires --out)",
+    )
+    parser.add_argument(
+        "--shard",
+        metavar="K/N",
+        default=None,
+        help="run only hash-prefix shard K of N (e.g. '0/4'); rows keep "
+        "their global grid indices so per-shard artifacts merge cleanly",
     )
     parser.add_argument(
         "--schedulings",
@@ -154,6 +176,16 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.resume and not args.out:
+        parser.error("--resume requires --out")
+    shard = None
+    if args.shard is not None:
+        try:
+            k, n = (int(part) for part in args.shard.split("/", 1))
+        except ValueError:
+            parser.error("--shard must look like K/N, e.g. 0/4")
+        shard = (k, n)
+
     campaign = smoke_campaign(
         seeds=args.seeds,
         schedulings=tuple(
@@ -163,7 +195,15 @@ def main(argv=None) -> int:
             b.strip() for b in args.backends.split(",") if b.strip()
         ),
     )
-    report = run_campaign(campaign, workers=args.workers)
+    report = run_campaign(
+        campaign,
+        workers=args.workers,
+        cache=args.cache_dir,
+        out_dir=args.out,
+        resume=args.resume,
+        shard=shard,
+        keep_rows=True,  # the smoke table below wants the rows
+    )
 
     print(sweep_table(report.rows))
     print()
@@ -175,11 +215,11 @@ def main(argv=None) -> int:
         f"{summary['truncated']} truncated, "
         f"{sum(summary['violations'].values())} property violations "
         f"[{report.mode}, workers={report.workers}, "
-        f"{report.elapsed:.2f}s]"
+        f"executed={report.executed} cached={report.cached} "
+        f"resumed={report.resumed}, {report.elapsed:.2f}s]"
     )
     if args.out:
-        paths = report.write(args.out)
-        print(f"wrote {paths['manifest']} and {paths['results']}")
+        print(f"streamed {args.out}/manifest.json and {args.out}/results.jsonl")
 
     bad = summary["failed"] + summary["violating_scenarios"] + summary["truncated"]
     return 1 if bad else 0

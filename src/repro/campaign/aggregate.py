@@ -13,6 +13,16 @@ Neither artifact records wall-clock times, worker counts or execution
 mode: those describe the machine, not the campaign, and keeping them
 out is what makes the files byte-identical across executors.  Timing
 lives on the in-memory :class:`CampaignReport` only.
+
+Both artifacts can be produced two ways with identical bytes: from a
+finished in-memory report (:meth:`CampaignReport.write`, the historical
+path) or *streamed* while the sweep runs (:func:`write_manifest` +
+:class:`ResultsWriter`, the ``run_campaign(out_dir=...)`` path) — row
+by row, holding nothing, so a million-cell grid costs O(1) memory.  The
+streamed results file is also the resume medium:
+:func:`scan_partial_results` walks a partial file after an interrupt,
+recovers the valid row prefix, and tells the executor where to truncate
+and continue.
 """
 
 from __future__ import annotations
@@ -20,12 +30,54 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.workloads.spec import ScenarioSpec
 
 #: Bumped on breaking changes to the results/manifest layout.
 CAMPAIGN_SCHEMA_VERSION = 1
+
+
+# -- Line formats (the single source of results.jsonl bytes) ----------------
+
+
+def meta_line(
+    name: str,
+    campaign_hash: str,
+    scenarios: int,
+    shard: Optional[Tuple[int, int]] = None,
+) -> str:
+    """The results file's first line.
+
+    ``scenarios`` is the number of row lines this file will carry — the
+    whole grid normally, the shard's cell count for a sharded sweep
+    (which also records its ``shard`` so merged artifacts self-describe;
+    unsharded sweeps keep the historical layout byte-for-byte).
+    """
+    body: Dict[str, Any] = {
+        "type": "meta",
+        "schema": CAMPAIGN_SCHEMA_VERSION,
+        "name": name,
+        "campaign_hash": campaign_hash,
+        "scenarios": scenarios,
+    }
+    if shard is not None:
+        body["shard"] = list(shard)
+    return json.dumps(body, sort_keys=True)
+
+
+def row_line(row: Dict[str, Any]) -> str:
+    """One scenario row as its results.jsonl line."""
+    body = dict(row)
+    body["type"] = "row"
+    return json.dumps(body, sort_keys=True, default=str)
+
+
+def summary_line(summary: Dict[str, Any]) -> str:
+    """The aggregate as the results file's final line."""
+    body = dict(summary)
+    body["type"] = "summary"
+    return json.dumps(body, sort_keys=True)
 
 
 @dataclass(frozen=True)
@@ -37,12 +89,25 @@ class CampaignReport:
         campaign_hash: content hash of the grid (empty for ad-hoc spec
             lists).
         specs: the expanded scenario specs, in execution order.
-        rows: one result row per spec, in the same order.
+        rows: one result row per spec, in the same order.  Empty when
+            the sweep streamed its rows to disk (``streamed=True``) —
+            the artifact, not this object, holds them.
         summary: the worker-count-independent aggregate
             (:meth:`repro.metrics.sweep.SweepAggregator.summary`).
         mode: ``"serial"`` or ``"process"`` — how this report was made.
         workers: worker processes used (1 for serial).
         elapsed: wall-clock seconds of the sweep.  Not serialized.
+        executed: scenarios actually run by this invocation (cache
+            hits, resumed rows and already-complete files excluded).
+        cached: rows replayed from the result cache.
+        resumed: rows recovered from a partial results file.
+        shard: ``(shard index, shard count)`` for a sharded sweep, else
+            ``None``.
+        cell_count: rows this sweep owns — ``None`` means the whole
+            grid (``len(specs)``); a sharded sweep records its subset.
+        streamed: whether rows went straight to ``results.jsonl``
+            (:meth:`write` refuses to run again — the artifacts already
+            exist and this object no longer holds the rows).
     """
 
     name: str
@@ -53,6 +118,12 @@ class CampaignReport:
     mode: str
     workers: int
     elapsed: float
+    executed: int = 0
+    cached: int = 0
+    resumed: int = 0
+    shard: Optional[Tuple[int, int]] = None
+    cell_count: Optional[int] = None
+    streamed: bool = False
 
     # -- Row access -------------------------------------------------------
 
@@ -88,23 +159,13 @@ class CampaignReport:
         sorted, and nothing machine-specific is included — so serial and
         parallel sweeps of the same campaign serialize byte-identically.
         """
-        yield json.dumps(
-            {
-                "type": "meta",
-                "schema": CAMPAIGN_SCHEMA_VERSION,
-                "name": self.name,
-                "campaign_hash": self.campaign_hash,
-                "scenarios": len(self.specs),
-            },
-            sort_keys=True,
+        scenarios = (
+            self.cell_count if self.cell_count is not None else len(self.specs)
         )
+        yield meta_line(self.name, self.campaign_hash, scenarios, self.shard)
         for row in self.rows:
-            body = dict(row)
-            body["type"] = "row"
-            yield json.dumps(body, sort_keys=True, default=str)
-        summary = dict(self.summary)
-        summary["type"] = "summary"
-        yield json.dumps(summary, sort_keys=True)
+            yield row_line(row)
+        yield summary_line(self.summary)
 
     def results_jsonl(self) -> str:
         """The whole results file as one string (byte-identity checks)."""
@@ -113,15 +174,220 @@ class CampaignReport:
     def write(self, directory: str) -> Dict[str, str]:
         """Write ``manifest.json`` + ``results.jsonl`` into ``directory``.
 
-        Returns the paths written, keyed by artifact name.
+        Returns the paths written, keyed by artifact name.  Refused for
+        streamed reports: their artifacts were written row-by-row while
+        the sweep ran and this object no longer holds the rows.
         """
+        if self.streamed:
+            raise ValueError(
+                "this report streamed its rows to disk while running; "
+                "the artifacts already exist in the sweep's out_dir"
+            )
         os.makedirs(directory, exist_ok=True)
         manifest_path = os.path.join(directory, "manifest.json")
         results_path = os.path.join(directory, "results.jsonl")
-        with open(manifest_path, "w", encoding="utf-8") as fh:
-            json.dump(self.manifest(), fh, sort_keys=True, indent=2, default=str)
-            fh.write("\n")
+        write_manifest(
+            manifest_path,
+            name=self.name,
+            campaign_hash=self.campaign_hash,
+            specs=self.specs,
+        )
         with open(results_path, "w", encoding="utf-8") as fh:
             for line in self.iter_results_jsonl():
                 fh.write(line + "\n")
         return {"manifest": manifest_path, "results": results_path}
+
+
+# -- Streaming manifest -----------------------------------------------------
+
+
+def write_manifest(
+    path: str,
+    *,
+    name: str,
+    campaign_hash: str,
+    specs: Sequence[ScenarioSpec],
+) -> str:
+    """Write ``manifest.json`` one scenario at a time.
+
+    Byte-identical to ``json.dump(report.manifest(), fh, sort_keys=True,
+    indent=2, default=str)`` (pinned by tests) without ever building the
+    scenario list in memory — the manifest of a 10^6-cell grid costs as
+    much RAM as one entry.  Idempotent, so a resumed sweep simply
+    rewrites it.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{\n")
+        fh.write(f'  "campaign_hash": {json.dumps(campaign_hash)},\n')
+        fh.write(f'  "name": {json.dumps(name)},\n')
+        if not specs:
+            fh.write('  "scenarios": [],\n')
+        else:
+            fh.write('  "scenarios": [\n')
+            for index, spec in enumerate(specs):
+                entry = {
+                    "index": index,
+                    "name": spec.name,
+                    "spec_hash": spec.spec_hash(),
+                    "spec": spec.to_json(),
+                }
+                blob = json.dumps(entry, sort_keys=True, indent=2, default=str)
+                body = "\n".join("    " + line for line in blob.splitlines())
+                fh.write(body)
+                fh.write(",\n" if index + 1 < len(specs) else "\n")
+            fh.write("  ],\n")
+        fh.write(f'  "schema": {CAMPAIGN_SCHEMA_VERSION}\n')
+        fh.write("}\n")
+    return path
+
+
+# -- Streaming results ------------------------------------------------------
+
+
+class ResultsWriter:
+    """Appends results.jsonl lines as rows arrive (O(1) memory).
+
+    The byte layout is exactly :meth:`CampaignReport.iter_results_jsonl`
+    — same meta, same row serialization, same summary — so a streamed
+    sweep and an in-memory sweep of the same campaign produce identical
+    files.  Every line is flushed as written: an interrupted sweep
+    leaves at worst one torn trailing line, which
+    :func:`scan_partial_results` discards on resume.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        name: str,
+        campaign_hash: str,
+        scenarios: int,
+        shard: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.path = path
+        self._meta = meta_line(name, campaign_hash, scenarios, shard)
+        self._fh: Optional[Any] = None
+
+    def start(self) -> None:
+        """Open a fresh file and write the meta line."""
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(self._meta + "\n")
+        self._fh.flush()
+
+    def resume_at(self, offset: int) -> None:
+        """Truncate the partial file to ``offset`` and append after it.
+
+        ``offset`` is the byte position after the last valid line (from
+        :func:`scan_partial_results`); everything past it — a torn line,
+        rows beyond a corrupt gap — is discarded and re-executed.
+        """
+        fh = open(self.path, "r+b")
+        fh.truncate(offset)
+        fh.close()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def append(self, row: Dict[str, Any]) -> None:
+        assert self._fh is not None, "writer not started"
+        self._fh.write(row_line(row) + "\n")
+        self._fh.flush()
+
+    def finish(self, summary: Dict[str, Any]) -> None:
+        """Write the summary line and close — the sweep is complete."""
+        assert self._fh is not None, "writer not started"
+        self._fh.write(summary_line(summary) + "\n")
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- Resume -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialScan:
+    """What a partial results file still holds.
+
+    Attributes:
+        rows: valid rows recovered (a prefix of the sweep's cells).
+        offset: byte position after the last valid line — the resume
+            point for :meth:`ResultsWriter.resume_at`.  ``0`` means not
+            even the meta line survived: start fresh.
+        complete: a summary line was found — the sweep already finished
+            and there is nothing to execute.
+    """
+
+    rows: int
+    offset: int
+    complete: bool
+
+
+def scan_partial_results(
+    path: str,
+    *,
+    campaign_hash: str,
+    scenarios: int,
+    expected: Sequence[int],
+    consume: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> PartialScan:
+    """Walk a partial results file and find the resume point.
+
+    The file must open with a meta line matching this sweep's identity
+    (``campaign_hash`` and cell count) — a mismatch raises
+    :class:`ValueError` rather than silently clobbering some other
+    campaign's artifact.  Rows are validated against ``expected`` (the
+    global grid indices this sweep will emit, in order); the scan stops
+    at the first torn, unparsable or out-of-sequence line, and each
+    valid row is passed to ``consume`` (the executor feeds its
+    aggregator and row sinks) without retaining any of them.
+    """
+    rows = 0
+    offset = 0
+    complete = False
+    with open(path, "rb") as fh:
+        for lineno, raw in enumerate(iter(fh.readline, b"")):
+            if not raw.endswith(b"\n"):
+                break  # torn tail from the interrupt — discard
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                break
+            if not isinstance(record, dict):
+                break
+            kind = record.get("type")
+            if lineno == 0:
+                if kind != "meta":
+                    break
+                if (
+                    record.get("campaign_hash") != campaign_hash
+                    or record.get("scenarios") != scenarios
+                ):
+                    raise ValueError(
+                        f"results file {path!r} belongs to a different "
+                        f"campaign (hash {record.get('campaign_hash')!r}, "
+                        f"{record.get('scenarios')!r} scenarios); refusing "
+                        f"to resume over it"
+                    )
+                offset += len(raw)
+                continue
+            if kind == "summary":
+                if rows != len(expected):
+                    raise ValueError(
+                        f"results file {path!r} carries a summary line "
+                        f"after only {rows} of {len(expected)} rows; the "
+                        f"artifact is corrupt — delete it to re-run"
+                    )
+                offset += len(raw)
+                complete = True
+                break
+            if kind != "row":
+                break
+            if rows >= len(expected) or record.get("index") != expected[rows]:
+                break
+            if consume is not None:
+                consume(record)
+            rows += 1
+            offset += len(raw)
+    return PartialScan(rows=rows, offset=offset, complete=complete)

@@ -17,6 +17,23 @@ Two invariants the rest of the subsystem leans on:
   which worker finished first (``Executor.map`` preserves submission
   order), so results files are byte-stable across worker counts.
 
+On top of the seed executor this module owns the *scale-out* layer:
+
+* a result cache (``cache=``, :mod:`repro.campaign.cache`) keyed on the
+  cell's ``(spec_hash, seed, backend, fault_plan_hash)`` so reruns
+  execute only new grid cells — a hit replays the stored row
+  byte-identically;
+* streaming artifacts (``out_dir=``) — rows go straight to
+  ``results.jsonl`` through the :class:`SweepAggregator` without the
+  executor retaining them, so a 10^6-cell grid sweeps in O(1) memory;
+* resume-after-interrupt (``resume=True``) — a partial results file is
+  scanned, its valid row prefix kept, and execution continues from the
+  first missing cell; the finished artifact is byte-identical to an
+  uninterrupted run;
+* hash-prefix grid sharding (``shard=(k, n)``) — the first step toward
+  multi-host sweeps: each host owns a deterministic, content-addressed
+  subset of the cells while rows keep their global grid indices.
+
 ``execute_spec`` being a module-level function of a picklable argument
 is what keeps the pool start-method agnostic: it works under ``fork``
 as well as the spawn semantics Windows and macOS default to.
@@ -24,12 +41,29 @@ as well as the spawn semantics Windows and macOS default to.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro.campaign.aggregate import CampaignReport
+from repro.campaign.aggregate import (
+    CampaignReport,
+    ResultsWriter,
+    scan_partial_results,
+    write_manifest,
+)
+from repro.campaign.cache import CampaignCache, ensure_cache, shard_cells
 from repro.campaign.grid import Campaign
 from repro.metrics.sweep import SweepAggregator
 from repro.workloads.runner import run_scenario, triage_record
@@ -37,6 +71,11 @@ from repro.workloads.spec import ScenarioSpec
 
 #: Execution modes of :func:`run_campaign`.
 MODES = ("serial", "process")
+
+#: Cells probed against the cache (and dispatched to the pool) at a time
+#: when a cache is attached — bounds the rows held in flight regardless
+#: of grid size.
+CACHE_CHUNK = 256
 
 
 def execute_spec(task: Tuple[int, ScenarioSpec]) -> Dict[str, Any]:
@@ -78,17 +117,70 @@ def iter_campaign_rows(
     process pool executes them while this generator yields whatever is
     ready, still in submission order.
     """
-    tasks = list(enumerate(specs))
-    if workers <= 1:
-        for task in tasks:
-            yield execute_spec(task)
-        return
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=mp_context
-    ) as pool:
-        chunksize = max(1, len(tasks) // (workers * 4))
-        for row in pool.map(execute_spec, tasks, chunksize=chunksize):
-            yield row
+    return _iter_cell_rows(
+        list(enumerate(specs)), workers=workers, mp_context=mp_context
+    )
+
+
+def _iter_cell_rows(
+    cells: Sequence[Tuple[int, ScenarioSpec]],
+    *,
+    workers: int = 1,
+    mp_context: Optional[object] = None,
+    cache: Optional[CampaignCache] = None,
+    counters: Optional[Dict[str, int]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Stream rows for ``(global index, spec)`` cells, in cell order.
+
+    The cache-aware path works in bounded chunks: probe the cache for
+    :data:`CACHE_CHUNK` cells, dispatch only the misses (serially or to
+    the pool), then merge hits and fresh rows back into cell order —
+    at no point does the generator hold more than a chunk of rows, so
+    warm sweeps of arbitrarily large grids stay O(1) memory.  Executed
+    rows are stored back into the cache as they stream out.
+    """
+    counters = counters if counters is not None else {}
+    counters.setdefault("executed", 0)
+    counters.setdefault("cached", 0)
+    tasks = list(cells)
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        if workers > 1:
+            pool = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+
+        def run_batch(batch: List[Tuple[int, ScenarioSpec]]) -> Iterator[Dict[str, Any]]:
+            if not batch:
+                return iter(())
+            if pool is None:
+                return map(execute_spec, batch)
+            chunksize = max(1, len(batch) // (workers * 4))
+            return pool.map(execute_spec, batch, chunksize=chunksize)
+
+        if cache is None:
+            for row in run_batch(tasks):
+                counters["executed"] += 1
+                yield row
+            return
+
+        for base in range(0, len(tasks), CACHE_CHUNK):
+            chunk = tasks[base : base + CACHE_CHUNK]
+            probes = [(index, spec, cache.get(spec)) for index, spec in chunk]
+            fresh = run_batch(
+                [(index, spec) for index, spec, hit in probes if hit is None]
+            )
+            for index, spec, hit in probes:
+                if hit is None:
+                    row = next(fresh)
+                    cache.put(spec, row)
+                    counters["executed"] += 1
+                else:
+                    row = dict(hit)
+                    row["index"] = index
+                    counters["cached"] += 1
+                yield row
+    finally:
+        if pool is not None:
+            pool.shutdown()
 
 
 def run_campaign(
@@ -98,6 +190,11 @@ def run_campaign(
     mode: Optional[str] = None,
     mp_context: Optional[object] = None,
     on_row: Optional[Callable[[Dict[str, Any]], None]] = None,
+    cache: Optional[Union[CampaignCache, str]] = None,
+    out_dir: Optional[str] = None,
+    resume: bool = False,
+    keep_rows: Optional[bool] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignReport:
     """Execute a campaign (or a bare spec list) and aggregate the rows.
 
@@ -106,11 +203,34 @@ def run_campaign(
             sequence of :class:`ScenarioSpec` values.
         workers: worker processes for ``mode="process"``.
         mode: ``"serial"`` or ``"process"``; default is serial for
-            ``workers <= 1`` and a process pool otherwise.
+            ``workers <= 1`` and a process pool otherwise.  Asking for
+            ``mode="serial"`` *and* ``workers > 1`` is a contradiction
+            and raises :class:`ValueError` — silently running serial
+            would mask a misconfigured sweep.
         mp_context: optional :mod:`multiprocessing` context (e.g.
             ``multiprocessing.get_context("spawn")``) for the pool.
         on_row: optional callback invoked with each row as it streams
-            in (progress reporting).
+            in (progress reporting).  Also sees resumed rows.
+        cache: a :class:`repro.campaign.cache.CampaignCache` (or a
+            directory path) — cells with a stored ``ok`` row replay it
+            byte-identically instead of executing; fresh rows are
+            stored back.  ``failed`` rows are never cache-hit.
+        out_dir: stream the artifacts while running: ``manifest.json``
+            up front, then each row appended (and flushed) to
+            ``results.jsonl`` as it arrives, so the sweep never holds
+            its rows and an interrupt loses at most one torn line.
+        resume: continue a partial ``results.jsonl`` in ``out_dir``:
+            its valid row prefix is kept (fed to the aggregator, not
+            re-executed) and execution picks up at the first missing
+            cell.  Requires ``out_dir``.
+        keep_rows: retain rows on the returned report.  Defaults to
+            ``True`` for in-memory sweeps and ``False`` when streaming
+            to ``out_dir`` (the artifact holds them; keeping both would
+            defeat the O(1)-memory point, but small sweeps may opt in).
+        shard: ``(shard index, shard count)`` — execute only this
+            sweep's hash-prefix shard of the grid (see
+            :func:`repro.campaign.cache.shard_cells`).  Rows keep their
+            global grid indices.
 
     Returns:
         a :class:`CampaignReport` whose rows are in spec order and
@@ -128,18 +248,93 @@ def run_campaign(
         mode = "process" if workers > 1 else "serial"
     if mode not in MODES:
         raise ValueError(f"unknown campaign mode {mode!r}; pick from {MODES}")
+    if mode == "serial" and workers > 1:
+        raise ValueError(
+            f"mode='serial' contradicts workers={workers}: a serial sweep "
+            f"runs in-process on one worker — drop the workers argument or "
+            f"ask for mode='process'"
+        )
+    if resume and out_dir is None:
+        raise ValueError("resume=True needs an out_dir holding the partial "
+                         "results.jsonl")
     effective_workers = workers if mode == "process" else 1
+    cache_obj = ensure_cache(cache)
+    if keep_rows is None:
+        keep_rows = out_dir is None
+
+    cells: List[Tuple[int, ScenarioSpec]] = list(enumerate(specs))
+    if shard is not None:
+        shard_index, shard_count = shard
+        cells = shard_cells(cells, shard_count, shard_index)
+    expected = [index for index, _ in cells]
 
     aggregator = SweepAggregator()
-    rows = []
-    started = time.perf_counter()
-    for row in iter_campaign_rows(
-        specs, workers=effective_workers, mp_context=mp_context
-    ):
+    rows: List[Dict[str, Any]] = []
+
+    def consume(row: Dict[str, Any]) -> None:
         aggregator.add(row)
-        rows.append(row)
+        if keep_rows:
+            rows.append(row)
         if on_row is not None:
             on_row(row)
+
+    writer: Optional[ResultsWriter] = None
+    resumed = 0
+    complete = False
+    started = time.perf_counter()
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        write_manifest(
+            os.path.join(out_dir, "manifest.json"),
+            name=name,
+            campaign_hash=campaign_hash,
+            specs=specs,
+        )
+        results_path = os.path.join(out_dir, "results.jsonl")
+        writer = ResultsWriter(
+            results_path,
+            name=name,
+            campaign_hash=campaign_hash,
+            scenarios=len(cells) if shard is not None else len(specs),
+            shard=shard,
+        )
+        if resume and os.path.exists(results_path):
+            scan = scan_partial_results(
+                results_path,
+                campaign_hash=campaign_hash,
+                scenarios=len(cells) if shard is not None else len(specs),
+                expected=expected,
+                consume=consume,
+            )
+            resumed, complete = scan.rows, scan.complete
+            if complete:
+                writer = None
+            elif scan.offset > 0:
+                writer.resume_at(scan.offset)
+            else:
+                writer.start()
+        else:
+            writer.start()
+
+    counters: Dict[str, int] = {"executed": 0, "cached": 0}
+    try:
+        if not complete:
+            for row in _iter_cell_rows(
+                cells[resumed:],
+                workers=effective_workers,
+                mp_context=mp_context,
+                cache=cache_obj,
+                counters=counters,
+            ):
+                consume(row)
+                if writer is not None:
+                    writer.append(row)
+            if writer is not None:
+                writer.finish(aggregator.summary())
+                writer = None
+    finally:
+        if writer is not None:
+            writer.close()
     elapsed = time.perf_counter() - started
 
     return CampaignReport(
@@ -151,4 +346,10 @@ def run_campaign(
         mode=mode,
         workers=effective_workers,
         elapsed=elapsed,
+        executed=counters["executed"],
+        cached=counters["cached"],
+        resumed=resumed,
+        shard=shard,
+        cell_count=len(cells) if shard is not None else None,
+        streamed=out_dir is not None,
     )

@@ -316,9 +316,13 @@ class FaultInjector:
 
         * bounded duplication and loss: stats never exceed budgets;
         * fair-lossy links: every dropped datagram was retransmitted;
-        * no forgotten datagram: once the run is past the horizon, the
-          buffer holds nothing delayed that is already receivable, and
-          nothing addressed to an alive process can still be hidden;
+        * no forgotten datagram: once the run is past the horizon the
+          delay heap must be *empty* — every release time is bounded by
+          the horizon, and crash cleanup purges entries for dead
+          destinations, so anything still sequestered is a datagram a
+          host forgot to release (not merely the overdue subset: a
+          sequestered datagram with a bogus future release time is just
+          as lost to its alive destination);
         * crash monotonicity: the perturbed pattern never un-crashes or
           postpones a crash of the base pattern.
         """
@@ -341,11 +345,12 @@ class FaultInjector:
                 f"{self.stats['retransmitted']} retransmissions"
             )
         if buffer is not None and final_time >= self.horizon:
-            overdue = buffer.overdue_delayed(final_time)
-            if overdue:
+            sequestered = buffer.delayed_count()
+            if sequestered:
                 violations.append(
-                    f"{overdue} receivable datagram(s) still sequestered "
-                    f"in the delay queue at t={final_time}"
+                    f"{sequestered} datagram(s) still sequestered in the "
+                    f"delay queue at t={final_time} (plan horizon "
+                    f"{self.horizon})"
                 )
         if pattern is not None and self._base_pattern is not None:
             for p, when in self._base_pattern.crash_times.items():

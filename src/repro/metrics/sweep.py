@@ -14,6 +14,7 @@ byte-stable regardless of how many workers produced them.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
 from repro.metrics.summary import format_table
@@ -86,6 +87,27 @@ def summarize_rows(rows: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     aggregator = SweepAggregator()
     for row in rows:
         aggregator.add(row)
+    return aggregator.summary()
+
+
+def summarize_results_file(path: str) -> Dict[str, Any]:
+    """Re-aggregate the row lines of a ``results.jsonl`` artifact.
+
+    Walks the file and folds every ``type="row"`` line through a fresh
+    :class:`SweepAggregator` — an integrity check for streamed or
+    resumed sweeps: the result must equal the file's own trailing
+    summary line (minus its ``type`` tag), whatever mix of executed,
+    cached and resumed rows produced the file.
+    """
+    aggregator = SweepAggregator()
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "row":
+                aggregator.add(record)
     return aggregator.summary()
 
 

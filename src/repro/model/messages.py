@@ -229,8 +229,19 @@ class MessageBuffer:
 
     def drop_all_for(self, p: ProcessId) -> int:
         """Discard every datagram addressed to ``p`` (crashed processes
-        never receive).  Returns the number of dropped datagrams."""
+        never receive) — including datagrams a link fault is still
+        holding back.  Leaving delayed entries behind would let
+        :meth:`release` push them into a dead process's queue later,
+        inflating :meth:`in_transit` and stalling quiescence accounting.
+        Returns the number of dropped datagrams (pending + sequestered)."""
         dropped = len(self._pending.pop(p, ()))
+        if self._delayed:
+            kept = [entry for entry in self._delayed if entry[2].dst != p]
+            purged = len(self._delayed) - len(kept)
+            if purged:
+                heapq.heapify(kept)
+                self._delayed = kept
+                dropped += purged
         return dropped
 
     def release(self, now: int) -> int:
@@ -260,6 +271,14 @@ class MessageBuffer:
         """Datagrams currently sequestered by link faults."""
         return len(self._delayed)
 
+    def delayed_for(self, p: ProcessId) -> int:
+        """Sequestered datagrams addressed to ``p`` specifically."""
+        return sum(1 for _, _, d in self._delayed if d.dst == p)
+
     def in_transit(self) -> int:
-        """Total number of datagrams currently buffered."""
-        return sum(len(q) for q in self._pending.values())
+        """Total number of datagrams currently buffered.
+
+        Folds in the delay heap: a datagram pending release is still in
+        transit, and quiescence accounting must see it — a buffer is
+        only drained when both the inboxes and the heap are empty."""
+        return sum(len(q) for q in self._pending.values()) + len(self._delayed)

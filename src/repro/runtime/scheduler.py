@@ -136,6 +136,15 @@ class Scheduler:
             round (finite asynchrony: churn windows are bounded, so
             fairness holds in the suffix).  ``None`` leaves every code
             path byte-identical to the fault-free scheduler.
+        pending_work: optional callable returning the amount of work the
+            actors cannot see yet but that is still due — e.g. datagrams
+            a link fault holds sequestered in the message buffer's delay
+            heap.  A round with zero productive actions does **not**
+            count toward quiescence while this reports nonzero: the
+            hidden work will re-enable an actor when it lands, so
+            declaring quiescence over it would truncate the run
+            mid-perturbation.  ``None`` (fault-free hosts) keeps the
+            check byte-identical to the seed behaviour.
     """
 
     def __init__(
@@ -149,6 +158,7 @@ class Scheduler:
         pre_round: Optional[Callable[[Time], None]] = None,
         responders: Optional[FrozenSet[Key]] = None,
         injector: Optional[Any] = None,
+        pending_work: Optional[Callable[[], int]] = None,
     ) -> None:
         if scheduling not in SCHEDULING_MODES:
             raise SimulationError(f"unknown scheduling mode {scheduling!r}")
@@ -160,6 +170,7 @@ class Scheduler:
         self._settle_horizon = settle_horizon or (lambda: 0)
         self._pre_round = pre_round
         self._injector = injector
+        self._pending_work = pending_work
         self.time: Time = 0
         #: Whether the most recent :meth:`run` ended in quiescence; True
         #: before any run call — nothing has been cut short yet.
@@ -267,7 +278,11 @@ class Scheduler:
         Quiescence requires ``quiescent_rounds`` consecutive rounds with
         zero productive actions *after* the settle horizon, since
         actions blocked on a detector may re-enable when it settles.
-        With ``halt_on_quiescence=False`` the budget is always executed
+        An idle round also does not count while the host's
+        ``pending_work`` hook reports outstanding hidden work (e.g.
+        fault-delayed datagrams still due for release): quiescence over
+        a non-empty delay heap would be a lie.  With
+        ``halt_on_quiescence=False`` the budget is always executed
         in full (the legacy kernel contract) and the outcome reports
         whether the run *ended* quiescent.  ``stop_when`` is evaluated
         after every round and cuts the run short without claiming
@@ -281,7 +296,11 @@ class Scheduler:
             fired = self.round(participation)
             total_fired += fired
             rounds += 1
-            if fired == 0 and self.time >= self._settle_horizon():
+            if (
+                fired == 0
+                and self.time >= self._settle_horizon()
+                and (self._pending_work is None or not self._pending_work())
+            ):
                 idle += 1
                 if idle >= quiescent_rounds and halt_on_quiescence:
                     quiescent = True

@@ -145,6 +145,9 @@ class Kernel:
             pre_round=self._pre_round if injector is not None else self._drop_crashed,
             settle_horizon=(lambda: injector.horizon) if injector is not None else None,
             injector=injector,
+            pending_work=(
+                self.buffer.delayed_count if injector is not None else None
+            ),
         )
 
     @property
@@ -179,7 +182,11 @@ class Kernel:
         crashes this is free, and with crashes it touches only the dead
         processes' inboxes (a message addressed to a dead process is
         still dropped at the start of the next round, exactly as
-        before).
+        before).  Datagrams a link fault is still sequestering for a
+        dead destination are purged too — a delayed datagram to a
+        crashed process would otherwise be released into a queue nobody
+        will ever drain, distorting ``in_transit()`` and the
+        delay-heap-aware quiescence check.
         """
         schedule = self._crash_schedule
         while (
@@ -189,7 +196,7 @@ class Kernel:
             self._dead.append(schedule[self._crash_cursor][1])
             self._crash_cursor += 1
         for p in self._dead:
-            if self.buffer.has_pending(p):
+            if self.buffer.has_pending(p) or self.buffer.delayed_count():
                 self.buffer.drop_all_for(p)
 
     # -- Stepping --------------------------------------------------------------

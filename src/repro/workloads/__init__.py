@@ -1,6 +1,14 @@
 """Workload generation: topologies, send scripts and the scenario runner."""
 
-from repro.workloads.runner import ScenarioResult, Send, random_sends, run_scenario
+from repro.workloads.runner import (
+    ScenarioResult,
+    Send,
+    random_sends,
+    run_scenario,
+    scenario_cache_key,
+    triage_line,
+    triage_record,
+)
 from repro.workloads.spec import ScenarioSpec, TopologySpec
 from repro.workloads.topologies import (
     chain_topology,
@@ -17,6 +25,9 @@ __all__ = [
     "TopologySpec",
     "random_sends",
     "run_scenario",
+    "scenario_cache_key",
+    "triage_line",
+    "triage_record",
     "chain_topology",
     "disjoint_topology",
     "hub_topology",

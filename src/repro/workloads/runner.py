@@ -36,7 +36,9 @@ Two *backends* execute a spec, both driven by the shared
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import random
 import warnings
 from dataclasses import dataclass, field
@@ -91,6 +93,24 @@ def triage_record(spec: ScenarioSpec) -> Dict[str, Any]:
             spec.faults.plan_hash() if spec.faults is not None else None
         ),
     }
+
+
+def scenario_cache_key(spec: ScenarioSpec) -> str:
+    """Stable content address of one grid cell's *result* (sha256 hex).
+
+    A result row is a pure function of ``(spec_hash, seed, backend,
+    fault_plan_hash)`` — exactly the :func:`triage_record` fields — so
+    the key is the hash of that record's canonical JSON.  Crucially the
+    spec's free-form label is *not* part of the key (``spec_hash``
+    already excludes it): two campaigns that sweep the same cell under
+    different labels share one cache entry, and the campaign cache
+    re-labels hits from the live spec (see
+    :class:`repro.campaign.cache.CampaignCache`).
+    """
+    canonical = json.dumps(
+        triage_record(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def triage_line(spec: ScenarioSpec) -> str:

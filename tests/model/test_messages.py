@@ -104,3 +104,64 @@ class TestMessageBuffer:
         assert buff.sent_count == 2
         assert buff.received_count == 1
         assert buff.in_transit() == 1
+
+
+class TestDelayedDatagramLifecycle:
+    """The delay heap obeys the same crash and accounting rules as
+    the visible queues — sequestered traffic is still traffic."""
+
+    @staticmethod
+    def delaying_buffer(until=5, amount=3):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultEvent, plan_of
+
+        injector = FaultInjector(
+            plan_of(FaultEvent(kind="link_delay", start=0, until=until, amount=amount)),
+            seed=0,
+        )
+        buff = MessageBuffer(injector)
+        buff.release(0)
+        return buff
+
+    def test_drop_all_for_purges_sequestered_datagrams(self):
+        buff = self.delaying_buffer()
+        buff.send(P1, P2, "DEAD")   # sequestered for P2
+        buff.send(P1, P3, "ALIVE")  # sequestered for P3
+        buff.send(P3, P2, "DEAD2")  # sequestered for P2
+        assert buff.delayed_count() == 3
+        assert buff.drop_all_for(P2) == 2  # both sequestered P2 datagrams
+        assert buff.delayed_count() == 1
+        assert buff.delayed_for(P2) == 0
+        # P2 never hears from the purged datagrams, P3's still arrives.
+        buff.release(10)
+        assert buff.receive(P2) is None
+        assert buff.receive(P3).tag == "ALIVE"
+
+    def test_drop_all_for_counts_pending_plus_sequestered(self):
+        buff = self.delaying_buffer(until=3, amount=2)
+        buff.send(P1, P2, "EARLY")  # sequestered, releases at t=2
+        buff.release(2)             # ...now visible
+        buff.send(P1, P2, "LATE")   # sequestered again (t=2 < until)
+        assert buff.has_pending(P2) and buff.delayed_for(P2) == 1
+        assert buff.drop_all_for(P2) == 2
+
+    def test_in_transit_counts_the_delay_heap(self):
+        buff = self.delaying_buffer()
+        buff.send(P1, P2, "A")
+        assert not buff.has_pending(P2)
+        assert buff.in_transit() == 1  # sequestered != delivered
+        buff.release(10)
+        assert buff.in_transit() == 1  # now visible, still in transit
+        buff.receive(P2)
+        assert buff.in_transit() == 0
+
+    def test_heap_order_survives_a_purge(self):
+        # Datagrams with distinct release times: purging the middle one
+        # must leave a valid heap so release order stays chronological.
+        buff = self.delaying_buffer(until=10, amount=1)
+        for t, (dst, tag) in enumerate(((P2, "A"), (P3, "X"), (P2, "B"))):
+            buff.release(t)
+            buff.send(P1, dst, tag)
+        buff.drop_all_for(P3)
+        buff.release(20)
+        assert [d.tag for d in buff.pending_for(P2)] == ["A", "B"]

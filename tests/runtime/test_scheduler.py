@@ -193,3 +193,33 @@ def test_zero_action_budget_forces_full_scan():
     sched.round(action_budget=0)
     assert sched.tracer.rounds[-1].full_scan
     assert sched.tracer.rounds[-1].scanned == 2
+
+
+def test_pending_work_defers_quiescence():
+    # An idle round with backlogged work (e.g. datagrams a link fault is
+    # still sequestering) must not count toward quiescence.
+    backlog = {"n": 3}
+
+    def drain():
+        if backlog["n"] > 0:
+            backlog["n"] -= 1
+            return 1
+        return 0
+
+    sched = make({"a": CountdownActor(0)}, pending_work=drain)
+    outcome = sched.run(max_rounds=20, quiescent_rounds=2)
+    assert outcome.quiescent
+    # Three zero-fired rounds are spent waiting out the backlog before
+    # the idle streak may start; then 2 genuinely idle rounds.
+    assert outcome.rounds == 5
+
+
+def test_pending_work_combines_with_settle_horizon():
+    sched = make(
+        {"a": CountdownActor(0)},
+        settle_horizon=lambda: 3,
+        pending_work=lambda: 0,
+    )
+    outcome = sched.run(max_rounds=10, quiescent_rounds=2)
+    assert outcome.quiescent
+    assert outcome.rounds == 4  # horizon still gates the idle streak
