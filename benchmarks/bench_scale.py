@@ -1,0 +1,198 @@
+"""The 100x-scale sweep: one million deliveries on a 200-process topology.
+
+The batching/slotting PR promised two things at scale: (1) the kernel's
+hot path (scheduler round loop, message buffer, replicated-log automata)
+got ≥ 1.5x faster on an open-loop 200-process workload, and (2) the
+topology layer stopped being the bottleneck at hundreds of groups — a
+200-group ring now *constructs and runs* on the engine, where the old
+family enumeration would have hung.
+
+This module is the tracked record of both claims.  It drives the exact
+workload the PR was profiled against — 40 disjoint 5-process groups
+under the kernel backend, 25 send waves per seed (5 000 deliveries per
+seed) — across enough seeds to accumulate one million deliveries, and
+writes the measured throughput next to the frozen pre-PR baseline into
+``BENCH_scale.json`` at the repo root (alongside ``BENCH_campaign.json``).
+
+Topologies are addressed by *recipe* (the v4 generator form of
+:class:`repro.workloads.TopologySpec`), so the sweep's scenario hashes
+cover three JSON scalars instead of a 200-entry group map.
+
+Not part of the default test path (``testpaths = ["tests"]``); run it
+explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py -q
+
+Set ``REPRO_SCALE_DELIVERIES`` to shrink the sweep (e.g. ``50000`` for a
+CI smoke); ``BENCH_scale.json`` is only (re)written by the full
+million-delivery sweep, so the committed numbers always describe the
+same experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.metrics import format_table
+from repro.workloads import (
+    ScenarioSpec,
+    Send,
+    TopologySpec,
+    random_sends,
+    run_scenario,
+)
+
+#: The frozen pre-PR numbers, measured at commit 3e29442 (the parent of
+#: the batching/slotting PR) on this container: 3 seeds of the kernel
+#: workload below, 15 000 deliveries in 3.235 s.
+PRE_PR_KERNEL_DELIVERIES_PER_SEC = 4637.0
+
+#: The acceptance floor of the PR: batched hot path ≥ 1.5x on this
+#: exact workload.
+REQUIRED_SPEEDUP = 1.5
+
+#: Kernel workload shape: 40 disjoint 5-process groups (200 processes),
+#: 25 waves x 40 groups per seed = 1 000 multicasts = 5 000 deliveries.
+GROUPS = 40
+GROUP_SIZE = 5
+WAVES = 25
+DELIVERIES_PER_SEED = WAVES * GROUPS * GROUP_SIZE
+
+#: Total deliveries the sweep accumulates (200 seeds x 5 000).
+TARGET_DELIVERIES = int(os.environ.get("REPRO_SCALE_DELIVERIES", 1_000_000))
+
+ROWS = []
+
+
+def teardown_module(module):
+    if ROWS:
+        print("\n\nScale sweep (200-process topologies, generator-form specs):")
+        print(
+            format_table(
+                ("cell", "deliveries", "seconds", "deliveries/sec"), ROWS
+            )
+        )
+
+
+def _kernel_spec(seed: int) -> ScenarioSpec:
+    """One seed of the profiled workload, addressed by recipe."""
+    topology = TopologySpec.from_generator(
+        {"kind": "disjoint", "k": GROUPS, "group_size": GROUP_SIZE}
+    )
+    sends = tuple(
+        Send(sender=(gi - 1) * GROUP_SIZE + 1, group=f"g{gi}", at_round=wave * 3)
+        for wave in range(WAVES)
+        for gi in range(1, GROUPS + 1)
+    )
+    return ScenarioSpec(
+        topology=topology,
+        sends=sends,
+        seed=seed,
+        max_rounds=6000,
+        backend="kernel",
+    )
+
+
+def test_million_delivery_kernel_sweep():
+    """The tracked claim: ≥ 1.5x over the pre-PR scheduler at 1M scale."""
+    seeds = max(1, -(-TARGET_DELIVERIES // DELIVERIES_PER_SEED))
+    total_deliveries = 0
+    total_rounds = 0
+    started = time.perf_counter()
+    for seed in range(seeds):
+        result = run_scenario(_kernel_spec(seed))
+        assert not result.truncated
+        deliveries = len(result.record.deliveries)
+        assert deliveries == DELIVERIES_PER_SEED
+        total_deliveries += deliveries
+        total_rounds += result.rounds
+    elapsed = time.perf_counter() - started
+
+    per_sec = total_deliveries / elapsed
+    speedup = per_sec / PRE_PR_KERNEL_DELIVERIES_PER_SEC
+    ROWS.append(
+        (
+            f"kernel disjoint {GROUPS}x{GROUP_SIZE} ({seeds} seeds)",
+            total_deliveries,
+            round(elapsed, 2),
+            f"{per_sec:,.0f} ({speedup:.2f}x pre-PR)",
+        )
+    )
+
+    if total_deliveries >= 1_000_000:
+        bench_path = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_scale.json"
+        )
+        with open(bench_path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "workload": {
+                        "backend": "kernel",
+                        "topology": {
+                            "kind": "disjoint",
+                            "k": GROUPS,
+                            "group_size": GROUP_SIZE,
+                        },
+                        "processes": GROUPS * GROUP_SIZE,
+                        "waves_per_seed": WAVES,
+                        "deliveries_per_seed": DELIVERIES_PER_SEED,
+                    },
+                    "seeds": seeds,
+                    "deliveries": total_deliveries,
+                    "rounds": total_rounds,
+                    "elapsed_seconds": round(elapsed, 2),
+                    "deliveries_per_sec": round(per_sec, 1),
+                    "pre_pr_deliveries_per_sec": PRE_PR_KERNEL_DELIVERIES_PER_SEC,
+                    "speedup_vs_pre_pr": round(speedup, 2),
+                    "required_speedup": REQUIRED_SPEEDUP,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched hot path must clear {REQUIRED_SPEEDUP}x over the pre-PR "
+        f"scheduler on the 200-process kernel workload, measured {speedup:.2f}x"
+    )
+
+
+def test_ring200_runs_on_the_engine():
+    """The capability the old family sweep denied: a 200-group ring.
+
+    A ring's intersection graph is a single 200-cycle — one cyclic
+    family.  Pre-PR, engine construction brute-forced the subset lattice
+    and a 200-group ring was unrunnable; the certificate-based sweep
+    makes it a sub-second smoke.  Deliveries are modest here on purpose:
+    this cell tracks *constructibility and correctness* at 100x group
+    count, not throughput (that is the kernel cell's job).
+    """
+    topology_spec = TopologySpec.from_generator({"kind": "ring", "k": 200})
+    topology = topology_spec.build()
+    sends = tuple(random_sends(topology, 10, seed=5, spread_rounds=10))
+    started = time.perf_counter()
+    result = run_scenario(
+        ScenarioSpec(
+            topology=topology_spec,
+            sends=sends,
+            seed=5,
+            max_rounds=4000,
+        )
+    )
+    elapsed = time.perf_counter() - started
+    assert not result.truncated
+    deliveries = len(result.record.deliveries)
+    assert deliveries == sum(
+        len(topology.group(s.group).members) for s in sends
+    )
+    ROWS.append(
+        (
+            "engine ring k=200 (1 seed)",
+            deliveries,
+            round(elapsed, 2),
+            f"{deliveries / elapsed:,.0f}",
+        )
+    )

@@ -1,0 +1,96 @@
+"""Throughput regression gate for the runtime-scheduler smoke benchmark.
+
+Compares a fresh ``--benchmark-json`` export of
+``benchmarks/bench_runtime.py`` against the committed reference numbers
+in ``BENCH_runtime.json`` (repo root) and fails when any cell's
+``rounds_per_sec`` drops below ``floor`` (default 0.9) times its
+reference.  Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py \
+        -q --benchmark-json=runtime-bench.json
+    python benchmarks/perf_gate.py runtime-bench.json
+
+The committed reference was measured on the 1-core growth container; CI
+runners are at least as fast, so a cell under 0.9x there signals a real
+hot-path regression, not hardware drift.  When re-baselining after an
+intentional perf change, rerun the benchmark and copy the new
+``rounds_per_sec`` values into ``BENCH_runtime.json`` in the same PR
+(with a changelog entry saying why).
+
+Exit status: 0 when every cell clears the floor, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_cells(benchmark_json: str) -> dict:
+    """``host/mode -> rounds_per_sec`` from a pytest-benchmark export."""
+    with open(benchmark_json, encoding="utf-8") as fh:
+        data = json.load(fh)
+    cells = {}
+    for bench in data.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        if "host" in extra and "mode" in extra and "rounds_per_sec" in extra:
+            cells[f"{extra['host']}/{extra['mode']}"] = float(
+                extra["rounds_per_sec"]
+            )
+    return cells
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "benchmark_json",
+        help="fresh --benchmark-json export of bench_runtime.py",
+    )
+    parser.add_argument(
+        "--reference",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_runtime.json"
+        ),
+        help="committed reference numbers (default: repo-root BENCH_runtime.json)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help="minimum fresh/reference ratio (default: the reference's own floor)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.reference, encoding="utf-8") as fh:
+        reference = json.load(fh)
+    floor = args.floor if args.floor is not None else reference.get("floor", 0.9)
+    fresh = load_cells(args.benchmark_json)
+
+    failures = []
+    width = max(len(name) for name in reference["cells"])
+    print(f"perf gate: floor {floor}x of committed {args.reference}")
+    for name, ref_value in sorted(reference["cells"].items()):
+        measured = fresh.get(name)
+        if measured is None:
+            failures.append(name)
+            print(f"  {name:<{width}}  MISSING from {args.benchmark_json}")
+            continue
+        ratio = measured / ref_value
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        if ratio < floor:
+            failures.append(name)
+        print(
+            f"  {name:<{width}}  {measured:>10,.1f} vs {ref_value:>10,.1f} "
+            f"rounds/sec  ({ratio:.2f}x)  {verdict}"
+        )
+    if failures:
+        print(f"perf gate FAILED: {', '.join(sorted(failures))}")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

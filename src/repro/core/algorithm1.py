@@ -27,6 +27,7 @@ stabilization record ``(m, h)`` or the indicator ``1^{g∩h}`` — supply
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.detectors.indicator import IndicatorOracle
@@ -99,6 +100,18 @@ class Algorithm1Process:
         self._to_multicast: Set[MessageId] = set()
         #: Per-destination-group consensus family, memoized (line 20).
         self._family_keys: Dict[Group, FrozenSet[str]] = {}
+        #: Known message ids in sorted order (the scan order), maintained
+        #: incrementally so each scan avoids re-sorting all of ``known``.
+        self._known_order: List[MessageId] = []
+        #: Message ids the scan can never act on again: delivered here,
+        #: or addressed to a group this process is not a member of.
+        self._done: Set[MessageId] = set()
+        #: Per-group-log version at the last ``discover()``; an unchanged
+        #: log cannot contain new messages, so its re-scan is skipped.
+        self._discover_versions: Dict[str, int] = {}
+        #: ``targets`` of lines 13/22 per destination group, memoized
+        #: (``my_groups`` and the intersection structure never change).
+        self._targets_cache: Dict[Group, Tuple[Group, ...]] = {}
         #: Instrumentation sink (detector-query counters); optional.
         self.stats = stats
         #: Why the last action scan ended blocked: a subset of the
@@ -122,7 +135,9 @@ class Algorithm1Process:
         return self.phase.get(message.mid, START)
 
     def _learn(self, message: MulticastMessage) -> None:
-        self.known.setdefault(message.mid, message)
+        if message.mid not in self.known:
+            self.known[message.mid] = message
+            insort(self._known_order, message.mid)
 
     def _all_at_least(
         self, messages: Tuple[MulticastMessage, ...], threshold: Phase
@@ -138,12 +153,22 @@ class Algorithm1Process:
         return self.space.intersection_log(g, h)
 
     def _destination_group(self, message: MulticastMessage) -> Group:
-        for g in self.topology.groups:
-            if g.members == message.dst:
-                return g
-        raise SimulationError(
-            f"message {message!r} addressed to a group outside G"
-        )
+        g = self.topology.group_with_members(message.dst)
+        if g is None:
+            raise SimulationError(
+                f"message {message!r} addressed to a group outside G"
+            )
+        return g
+
+    def _targets(self, g: Group) -> Tuple[Group, ...]:
+        """Lines 13/22: the local groups whose logs carry ``m``."""
+        cached = self._targets_cache.get(g)
+        if cached is None:
+            cached = tuple(
+                h for h in self.my_groups if h == g or g.intersects(h)
+            )
+            self._targets_cache[g] = cached
+        return cached
 
     # -- multicast(m), lines 5-7 ---------------------------------------------
 
@@ -170,9 +195,19 @@ class Algorithm1Process:
     # -- The action scan -------------------------------------------------------
 
     def discover(self) -> None:
-        """Learn messages appearing in the logs of this process's groups."""
+        """Learn messages appearing in the logs of this process's groups.
+
+        Each group log keeps a mutation counter; a log whose counter is
+        unchanged since the previous scan cannot hold new messages and is
+        skipped outright.
+        """
         for g in self.my_groups:
-            for message in self._log(g).messages():
+            handle = self._log(g)
+            version = handle.version
+            if self._discover_versions.get(g.name) == version:
+                continue
+            self._discover_versions[g.name] = version
+            for message in handle.messages():
                 self._learn(message)
 
     def try_actions(self, t: int, budget: Optional[int] = None) -> int:
@@ -201,12 +236,21 @@ class Algorithm1Process:
                 fired += 1
             else:
                 self._waiting(WAIT_QUORUM)
-        for mid in sorted(self.known):
+        done = self._done
+        for mid in self._known_order:
+            if mid in done:
+                continue
             if budget is not None and fired >= budget:
                 return fired
             message = self.known[mid]
+            if self.phase.get(mid) == DELIVER:
+                # Delivered messages satisfy no action precondition and
+                # report no wait reason — drop them from future scans.
+                done.add(mid)
+                continue
             g = self._destination_group(message)
             if self.pid not in g:
+                done.add(mid)  # never actionable at a non-member
                 continue
             if self._try_pending(t, message, g):
                 fired += 1
@@ -239,11 +283,7 @@ class Algorithm1Process:
         if not self._all_at_least(log_g.messages_before(m), COMMIT):
             self._waiting(WAIT_ORDER)
             return False
-        targets = [
-            h
-            for h in self.my_groups
-            if h == g or g.intersects(h)
-        ]
+        targets = self._targets(g)
         if not log_g.mutation_available(self.pid):
             self._waiting(WAIT_QUORUM)
             return False
@@ -296,11 +336,7 @@ class Algorithm1Process:
         k = max(r[2] for r in records)  # line 19
         family_key = self._consensus_family(g)  # line 20
         cons = self.space.consensus(m.mid, family_key, g)
-        targets = [
-            h
-            for h in self.my_groups
-            if h == g or g.intersects(h)
-        ]
+        targets = self._targets(g)
         if not cons.mutation_available(self.pid):
             self._waiting(WAIT_CONSENSUS)
             return False
@@ -329,11 +365,9 @@ class Algorithm1Process:
             return 0  # pre at line 26: PHASE[m] = commit
         fired = 0
         log_g = self._log(g)
-        for h in self.my_groups:  # line 27: h in G(p)
+        for h in self._targets(g):  # line 27: h in G(p), g ∩ h ≠ ∅
             if max_fires is not None and fired >= max_fires:
                 return fired
-            if h != g and not g.intersects(h):
-                continue
             if (m.mid, h) in self._stabilized:
                 continue
             ilog = self._ilog(g, h)
@@ -389,9 +423,7 @@ class Algorithm1Process:
     def _try_deliver(self, t: int, m: MulticastMessage, g: Group) -> bool:
         if self.phase_of(m) != STABLE:
             return False
-        for h in self.my_groups:  # line 36, over the logs at p holding m
-            if h != g and not g.intersects(h):
-                continue
+        for h in self._targets(g):  # line 36, over the logs at p holding m
             ilog = self._ilog(g, h)
             if m not in ilog:
                 continue

@@ -193,6 +193,11 @@ class MulticastSystem:
                 p for p in topology.processes if pattern.is_alive(p, 0)
             ),
             injector=injector,
+            alive_instants={
+                when
+                for p, when in pattern.crash_times.items()
+                if p in topology.processes
+            },
         )
 
     # -- Scheduler delegation -------------------------------------------------

@@ -21,7 +21,8 @@ detector.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Tuple
+from bisect import bisect_right
+from typing import Dict, FrozenSet, Iterable, Tuple
 
 from repro.detectors.base import OracleDetector
 from repro.groups.families import family_fault_time
@@ -55,6 +56,26 @@ class GammaOracle(OracleDetector):
             family: family_fault_time(family, pattern)
             for family in topology.cyclic_families()
         }
+        # The output at ``p`` is a pure function of which families are
+        # excluded, which only changes when some fault time plus the lag
+        # elapses; queries inside one such epoch share a cached sample.
+        self._exclusion_instants = sorted(
+            {
+                fault_time + detection_lag
+                for fault_time in self._fault_times.values()
+                if fault_time is not None
+            }
+        )
+        self._samples: Dict[Tuple[ProcessId, int], FrozenSet[GroupFamily]] = {}
+
+    def epoch(self, t: Time) -> int:
+        """The exclusion-state epoch of time ``t``.
+
+        Samples (and anything derived from them, like the ``gamma(g)``
+        partner sets) are constant within one epoch — callers may use
+        this as a memoization key.
+        """
+        return bisect_right(self._exclusion_instants, t)
 
     def _excluded(self, family: GroupFamily, t: Time) -> bool:
         """Whether ``family`` is excluded from outputs at time ``t``."""
@@ -63,11 +84,16 @@ class GammaOracle(OracleDetector):
 
     def query(self, p: ProcessId, t: Time) -> FrozenSet[GroupFamily]:
         """The families of ``F(p)`` not (yet) detected as faulty."""
-        return frozenset(
-            family
-            for family in self.topology.families_of_process(p)
-            if not self._excluded(family, t)
-        )
+        key = (p, self.epoch(t))
+        sample = self._samples.get(key)
+        if sample is None:
+            sample = frozenset(
+                family
+                for family in self.topology.families_of_process(p)
+                if not self._excluded(family, t)
+            )
+            self._samples[key] = sample
+        return sample
 
 
 def gamma_groups(

@@ -15,6 +15,9 @@ the start.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from typing import Dict, Optional
+
 from repro.detectors.base import OracleDetector
 from repro.model.errors import DetectorError
 from repro.model.failures import FailurePattern, Time
@@ -46,19 +49,42 @@ class OmegaOracle(OracleDetector):
         if stabilization_time is None:
             stabilization_time = max(pattern.crash_times.values(), default=0)
         self.stabilization_time = stabilization_time
-        correct = [q for q in sorted(self.scope) if pattern.is_correct(q)]
+        self._sorted_scope = sorted(self.scope)
+        correct = [q for q in self._sorted_scope if pattern.is_correct(q)]
         #: The leader reported after stabilization (None when the whole
         #: scope is faulty, in which case Leadership is vacuous).
         self.eventual_leader = correct[0] if correct else None
+        # Pre-stabilization samples change only at the scope's crash
+        # instants; cache one per inter-crash interval.
+        self._crash_instants = sorted(
+            {
+                when
+                for q, when in pattern.crash_times.items()
+                if q in self.scope
+            }
+        )
+        self._samples: Dict[int, Optional[ProcessId]] = {}
 
     def query(self, p: ProcessId, t: Time) -> ProcessId:
         """The current leader estimate for the scope."""
         if self.eventual_leader is not None and t >= self.stabilization_time:
             return self.eventual_leader
-        alive = [q for q in sorted(self.scope) if self.pattern.is_alive(q, t)]
-        if alive:
-            return alive[0]
+        epoch = bisect_right(self._crash_instants, t)
+        if epoch in self._samples:
+            leader = self._samples[epoch]
+        else:
+            leader = next(
+                (
+                    q
+                    for q in self._sorted_scope
+                    if self.pattern.is_alive(q, t)
+                ),
+                None,
+            )
+            self._samples[epoch] = leader
+        if leader is not None:
+            return leader
         if self.eventual_leader is not None:
             return self.eventual_leader
         # Whole scope crashed: any output is a valid history.
-        return sorted(self.scope)[0]
+        return self._sorted_scope[0]

@@ -63,6 +63,12 @@ class Mu(FailureDetector):
                     pattern.restricted_to(shared), shared
                 )
         self._gamma = GammaOracle(pattern, topology, detection_lag=gamma_lag)
+        # ``gamma(g)`` partner sets are constant within one gamma
+        # exclusion epoch; Algorithm 1 recomputes them on every commit /
+        # stable scan, so this cache carries the engine's hottest path.
+        self._partner_cache: Dict[
+            Tuple[ProcessId, Group, int], Tuple[Group, ...]
+        ] = {}
 
     # -- Component accessors (the API Algorithm 1 consumes) ---------------
 
@@ -115,7 +121,12 @@ class Mu(FailureDetector):
 
     def gamma_partners(self, p: ProcessId, t: Time, g: Group) -> Tuple[Group, ...]:
         """``gamma(g)`` as seen by ``p`` at ``t`` (§3 derived notation)."""
-        return gamma_groups(self._gamma.query(p, t), g)
+        key = (p, g, self._gamma.epoch(t))
+        partners = self._partner_cache.get(key)
+        if partners is None:
+            partners = gamma_groups(self._gamma.query(p, t), g)
+            self._partner_cache[key] = partners
+        return partners
 
     # -- FailureDetector interface ----------------------------------------
 

@@ -16,7 +16,8 @@ still holds.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from bisect import bisect_right
+from typing import Dict, FrozenSet
 
 from repro.detectors.base import OracleDetector
 from repro.model.errors import DetectorError
@@ -43,6 +44,19 @@ class SigmaOracle(OracleDetector):
         self._scope_correct = pset(
             p for p in self.scope if pattern.is_correct(p)
         )
+        # The sample is a pure function of which scope members are alive,
+        # which only changes at the scope's crash instants — one cached
+        # sample per inter-crash interval (a single constant sample on
+        # failure-free patterns, where kernel runs issue one query per
+        # process per round).
+        self._crash_instants = sorted(
+            {
+                when
+                for q, when in pattern.crash_times.items()
+                if q in self.scope
+            }
+        )
+        self._samples: Dict[int, FrozenSet[ProcessId]] = {}
 
     def query(self, p: ProcessId, t: Time) -> FrozenSet[ProcessId]:
         """A quorum of ``scope`` at time ``t``.
@@ -55,7 +69,12 @@ class SigmaOracle(OracleDetector):
             # Entire scope eventually crashes: Liveness is vacuous, keep
             # Intersection by answering the constant full scope.
             return self.scope
-        alive = pset(q for q in self.scope if self.pattern.is_alive(q, t))
-        # ``alive`` contains every correct member of the scope, hence any
-        # two samples intersect on them.
-        return alive if alive else self._scope_correct
+        epoch = bisect_right(self._crash_instants, t)
+        sample = self._samples.get(epoch)
+        if sample is None:
+            alive = pset(q for q in self.scope if self.pattern.is_alive(q, t))
+            # ``alive`` contains every correct member of the scope, hence
+            # any two samples intersect on them.
+            sample = alive if alive else self._scope_correct
+            self._samples[epoch] = sample
+        return sample

@@ -29,11 +29,41 @@ ClosedPath = Tuple[Group, ...]
 Edge = Tuple[Group, Group]
 
 _CYCLE_CACHE: Dict[GroupFamily, Tuple[Tuple[Group, ...], ...]] = {}
+_CYCLICITY_CACHE: Dict[GroupFamily, bool] = {}
+_CHORDLESS_CACHE: Dict[GroupFamily, bool] = {}
+
+#: Work budget (neighbor inspections) for the output-sensitive cycle
+#: sweeps.  Sparse intersection graphs (rings, chains, bounded-overlap
+#: randoms) finish in a vanishing fraction of this; dense graphs (hub
+#: cliques) have exponentially many cyclic families and exhaust it —
+#: callers get a :class:`TopologyError` instead of a silent multi-hour
+#: enumeration.  Counting inspections rather than path extensions keeps
+#: the worst-case cost of the refusal itself proportional to the budget
+#: (an extension on a 200-clique scans ~200 neighbors; charging only the
+#: extension made hitting the cap two orders of magnitude slower than
+#: the cap suggests).
+DEFAULT_CYCLE_BUDGET = 2_000_000
 
 
 def _edge(g: Group, h: Group) -> Edge:
     """Canonical (sorted) representation of an undirected edge."""
     return (g, h) if g < h else (h, g)
+
+
+def _connected(adjacency: Dict[Group, Set[Group]]) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if not adjacency:
+        return True
+    start = next(iter(adjacency))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return len(seen) == len(adjacency)
 
 
 def intersection_adjacency(family: Iterable[Group]) -> Dict[Group, Set[Group]]:
@@ -93,9 +123,142 @@ def _extend_cycle(
             path.pop()
 
 
+def has_hamiltonian_cycle(
+    adjacency: Dict[Group, Set[Group]], budget: int = DEFAULT_CYCLE_BUDGET
+) -> bool:
+    """Whether the graph is hamiltonian — decision only, no enumeration.
+
+    Cheap certificates settle the common shapes without search: a vertex
+    of degree < 2 or a disconnected graph cannot be hamiltonian; a
+    complete graph, a connected 2-regular graph (a single cycle) and any
+    graph meeting Dirac's bound (min degree >= n/2, n >= 3) always are.
+    Only the residual cases run a depth-first search, and that search
+    returns on the *first* cycle found instead of enumerating all of
+    them — the difference between O(1)-ish and exponential on the dense
+    families that :func:`hamiltonian_cycles` cannot touch.
+    """
+    n = len(adjacency)
+    if n < 3:
+        return False
+    degrees = [len(neighbors) for neighbors in adjacency.values()]
+    if min(degrees) < 2:
+        return False
+    if not _connected(adjacency):
+        return False
+    if all(d == n - 1 for d in degrees):
+        return True
+    if all(d == 2 for d in degrees):
+        return True
+    if 2 * min(degrees) >= n:
+        return True
+    vertices = sorted(adjacency)
+    start = vertices[0]
+    neighbors = {v: sorted(adjacency[v]) for v in vertices}
+    # Iterative DFS for one hamiltonian cycle rooted at the smallest
+    # vertex; an explicit stack keeps deep paths off the Python stack.
+    path = [start]
+    on_path = {start}
+    stack = [iter(neighbors[start])]
+    work = 0
+    while stack:
+        advanced = False
+        for nxt in stack[-1]:
+            work += 1
+            if work > budget:
+                raise TopologyError(
+                    f"hamiltonicity search exceeded {budget} steps; "
+                    "the intersection graph is too dense and irregular "
+                    "for the certificate fast paths"
+                )
+            if nxt in on_path:
+                if nxt == start and len(path) == n:
+                    return True
+                continue
+            path.append(nxt)
+            on_path.add(nxt)
+            stack.append(iter(neighbors[nxt]))
+            advanced = True
+            break
+        if not advanced:
+            stack.pop()
+            on_path.discard(path.pop())
+    return False
+
+
+def cycle_vertex_sets(
+    adjacency: Dict[Group, Set[Group]], budget: int = DEFAULT_CYCLE_BUDGET
+) -> Set[FrozenSet[Group]]:
+    """Vertex sets of all simple cycles (length >= 3) of the graph.
+
+    This is exactly the set of cyclic families of a topology: a family is
+    cyclic iff its induced intersection subgraph is hamiltonian, and a
+    hamiltonian cycle of an induced subgraph is a simple cycle of the
+    whole graph (and vice versa, taking the cycle's vertex set as the
+    family).  Enumeration is output-sensitive — rooted at each vertex in
+    turn, a DFS over strictly-larger vertices explores only simple paths,
+    so sparse graphs (rings: one cycle; chains: none) cost O(V * E)
+    instead of the 2^|G| subset sweep.  Dense graphs have exponentially
+    many cycles by nature; the work ``budget`` turns that into a
+    :class:`TopologyError` rather than a hang.
+    """
+    vertices = sorted(adjacency)
+    index = {v: i for i, v in enumerate(vertices)}
+    neighbors = {v: sorted(adjacency[v]) for v in vertices}
+    found: Set[FrozenSet[Group]] = set()
+    work = 0
+    for i, root in enumerate(vertices):
+        # Enumerate the simple cycles whose smallest vertex is ``root``:
+        # interior path vertices are restricted to indices > i, so every
+        # cycle is discovered from exactly one root (twice, once per
+        # direction — the frozenset dedups).
+        path = [root]
+        on_path = {root}
+        stack = [iter(neighbors[root])]
+        while stack:
+            advanced = False
+            for nxt in stack[-1]:
+                work += 1
+                if work > budget:
+                    raise TopologyError(
+                        f"cyclic-family enumeration exceeded {budget} steps: "
+                        f"the intersection graph ({len(vertices)} groups) is "
+                        "too dense for exhaustive family enumeration — use a "
+                        "sparser topology or the per-family predicates "
+                        "(is_cyclic_family, has_hamiltonian_cycle)"
+                    )
+                if index[nxt] <= i:
+                    if nxt == root and len(path) >= 3:
+                        found.add(frozenset(path))
+                    continue
+                if nxt in on_path:
+                    continue
+                path.append(nxt)
+                on_path.add(nxt)
+                stack.append(iter(neighbors[nxt]))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                on_path.discard(path.pop())
+    return found
+
+
 def is_cyclic_family(family: GroupFamily) -> bool:
-    """Whether the intersection graph of ``family`` is hamiltonian (§3)."""
-    return bool(hamiltonian_cycles(family))
+    """Whether the intersection graph of ``family`` is hamiltonian (§3).
+
+    Decided via :func:`has_hamiltonian_cycle` (certificates plus
+    early-exit search) and memoized — unlike :func:`hamiltonian_cycles`
+    this never enumerates, so it stays fast on dense families like hub
+    cliques where the cycle count is factorial.
+    """
+    cached = _CYCLICITY_CACHE.get(family)
+    if cached is None:
+        if family in _CYCLE_CACHE:
+            cached = bool(_CYCLE_CACHE[family])
+        else:
+            cached = has_hamiltonian_cycle(intersection_adjacency(family))
+        _CYCLICITY_CACHE[family] = cached
+    return cached
 
 
 def is_chordless_cycle_family(family: GroupFamily) -> bool:
@@ -110,13 +273,23 @@ def is_chordless_cycle_family(family: GroupFamily) -> bool:
     cycle (shortcut the cycle through chords until none remain), and the
     death of ``g ∩ h`` makes every chordless family through that edge
     faulty — which is what unblocks the waiters (Lemma 25).
+
+    A 2-regular graph is hamiltonian iff it is connected, so the check
+    is linear in the family size; results are memoized because this
+    predicate sits on the gamma-query hot path.
     """
+    cached = _CHORDLESS_CACHE.get(family)
+    if cached is not None:
+        return cached
     if len(family) < 3:
-        return False
-    adjacency = intersection_adjacency(family)
-    if any(len(neighbors) != 2 for neighbors in adjacency.values()):
-        return False
-    return bool(hamiltonian_cycles(family))
+        result = False
+    else:
+        adjacency = intersection_adjacency(family)
+        result = all(
+            len(neighbors) == 2 for neighbors in adjacency.values()
+        ) and _connected(adjacency)
+    _CHORDLESS_CACHE[family] = result
+    return result
 
 
 def cpaths(family: GroupFamily) -> Tuple[ClosedPath, ...]:
@@ -192,21 +365,24 @@ def family_faulty_at(
     """Whether a cyclic family is *faulty at time t* (§3).
 
     True when every closed path of the family visits some edge whose group
-    intersection is entirely crashed at ``t``.  Since equivalent paths
-    visit the same edges it suffices to check one representative per
-    hamiltonian cycle.
+    intersection is entirely crashed at ``t``.  Equivalent paths visit the
+    same edges, so this is a statement about hamiltonian cycles — and
+    "every hamiltonian cycle contains a dead edge" is the same as "the
+    intersection graph with the dead edges removed is not hamiltonian",
+    which :func:`has_hamiltonian_cycle` decides without enumerating the
+    (possibly factorial) cycle set.
     """
-    cycles = hamiltonian_cycles(family)
-    if not cycles:
+    if not is_cyclic_family(family):
         raise TopologyError("faultiness is only defined for cyclic families")
     dead = faulty_edges_at(family, pattern, t)
     if not dead:
         return False
-    for cycle in cycles:
-        closed = cycle + (cycle[0],)
-        if not (path_edges(closed) & dead):
-            return False
-    return True
+    adjacency = intersection_adjacency(family)
+    alive = {
+        g: {h for h in neighbors if _edge(g, h) not in dead}
+        for g, neighbors in adjacency.items()
+    }
+    return not has_hamiltonian_cycle(alive)
 
 
 def family_eventually_faulty(

@@ -72,6 +72,13 @@ class Group:
 #: A family of destination groups (§3): a set of non-repeated groups.
 GroupFamily = FrozenSet[Group]
 
+#: Up to this many groups, ``cyclic_families`` runs the original 2^|G|
+#: subset sweep (byte-identical order to the seed enumeration, which the
+#: golden fingerprints pin); above it, the output-sensitive simple-cycle
+#: sweep of :func:`repro.groups.families.cycle_vertex_sets` takes over —
+#: sorted into the same (size, lexicographic) order the sweep produces.
+FAMILY_BRUTE_FORCE_LIMIT = 12
+
 
 class GroupTopology:
     """The destination groups ``G`` over a process set ``P``.
@@ -100,7 +107,19 @@ class GroupTopology:
                     f"group {group.name} mentions processes outside the system"
                 )
         self._by_name: Dict[str, Group] = {g.name: g for g in self.groups}
+        self._by_members: Dict[ProcessSet, Group] = {
+            g.members: g for g in self.groups
+        }
         self._cyclic_families: Optional[Tuple[GroupFamily, ...]] = None
+        self._groups_by_process: Optional[
+            Dict[ProcessId, Tuple[Group, ...]]
+        ] = None
+        self._families_by_process: Optional[
+            Dict[ProcessId, Tuple[GroupFamily, ...]]
+        ] = None
+        self._intersecting_pairs: Optional[
+            Tuple[Tuple[Group, Group], ...]
+        ] = None
 
     # -- Lookup -----------------------------------------------------------
 
@@ -111,17 +130,36 @@ class GroupTopology:
         except KeyError:
             raise TopologyError(f"no group named {name!r}") from None
 
+    def group_with_members(self, members: ProcessSet) -> Optional[Group]:
+        """The group whose membership equals ``members``, if any.
+
+        Groups compare by membership, so this lookup is total over ``G``;
+        it replaces linear scans on per-message hot paths (e.g. resolving
+        ``dst(m)`` back to its destination group).
+        """
+        return self._by_members.get(members)
+
     def groups_of(self, p: ProcessId) -> Tuple[Group, ...]:
         """``G(p)``: destination groups that contain ``p`` (§2.2)."""
-        return tuple(g for g in self.groups if p in g)
+        index = self._groups_by_process
+        if index is None:
+            accumulator: Dict[ProcessId, List[Group]] = {}
+            for g in self.groups:
+                for q in g.members:
+                    accumulator.setdefault(q, []).append(g)
+            index = {q: tuple(gs) for q, gs in accumulator.items()}
+            self._groups_by_process = index
+        return index.get(p, ())
 
     def intersecting_pairs(self) -> Tuple[Tuple[Group, Group], ...]:
         """All unordered pairs of distinct intersecting groups."""
-        return tuple(
-            (g, h)
-            for g, h in itertools.combinations(self.groups, 2)
-            if g.intersects(h)
-        )
+        if self._intersecting_pairs is None:
+            self._intersecting_pairs = tuple(
+                (g, h)
+                for g, h in itertools.combinations(self.groups, 2)
+                if g.intersects(h)
+            )
+        return self._intersecting_pairs
 
     def intersections(self) -> Tuple[ProcessSet, ...]:
         """The distinct non-empty proper intersections ``g ∩ h``."""
@@ -157,16 +195,36 @@ class GroupTopology:
 
         A family is cyclic when its intersection graph is hamiltonian; this
         requires at least three groups (Lemma 21 treats |C| <= 2 apart).
+
+        Small topologies keep the original subset sweep (its enumeration
+        order is pinned by golden fingerprints).  Beyond
+        :data:`FAMILY_BRUTE_FORCE_LIMIT` groups the sweep's 2^|G| cost is
+        prohibitive, so ``F`` is instead read off the simple cycles of
+        the intersection graph — a family is cyclic iff it is the vertex
+        set of a simple cycle — which is output-sensitive: linear-ish on
+        sparse structures (a 400-group ring has exactly one cyclic
+        family) and a :class:`TopologyError` on dense ones (a hub clique
+        at that size has astronomically many; enumerating them is the
+        mistake, not the budget).
         """
         if self._cyclic_families is None:
-            from repro.groups.families import is_cyclic_family
+            from repro.groups.families import (
+                cycle_vertex_sets,
+                is_cyclic_family,
+            )
 
-            found: List[GroupFamily] = []
-            for size in range(3, len(self.groups) + 1):
-                for combo in itertools.combinations(self.groups, size):
-                    family = frozenset(combo)
-                    if is_cyclic_family(family):
-                        found.append(family)
+            if len(self.groups) <= FAMILY_BRUTE_FORCE_LIMIT:
+                found: List[GroupFamily] = []
+                for size in range(3, len(self.groups) + 1):
+                    for combo in itertools.combinations(self.groups, size):
+                        family = frozenset(combo)
+                        if is_cyclic_family(family):
+                            found.append(family)
+            else:
+                sets = cycle_vertex_sets(dict(self.intersection_graph()))
+                found = sorted(
+                    sets, key=lambda f: (len(f), tuple(sorted(f)))
+                )
             self._cyclic_families = tuple(found)
         return self._cyclic_families
 
@@ -178,16 +236,24 @@ class GroupTopology:
         """``F(p)``: families with ``p`` in some proper group intersection.
 
         Per §3: the cyclic families ``f`` such that there exist distinct
-        ``g, h in f`` with ``p in g ∩ h``.
+        ``g, h in f`` with ``p in g ∩ h``.  The index over all carrier
+        processes is built once (preserving the ``cyclic_families``
+        enumeration order per process) — gamma oracles consult this on
+        every query, so the former per-call family sweep was a hot spot.
         """
-        result: List[GroupFamily] = []
-        for family in self.cyclic_families():
-            members = sorted(family)
-            for g, h in itertools.combinations(members, 2):
-                if p in g.intersection(h):
-                    result.append(family)
-                    break
-        return tuple(result)
+        index = self._families_by_process
+        if index is None:
+            accumulator: Dict[ProcessId, List[GroupFamily]] = {}
+            for family in self.cyclic_families():
+                members = sorted(family)
+                carriers: set = set()
+                for g, h in itertools.combinations(members, 2):
+                    carriers |= g.intersection(h)
+                for q in carriers:
+                    accumulator.setdefault(q, []).append(family)
+            index = {q: tuple(fams) for q, fams in accumulator.items()}
+            self._families_by_process = index
+        return index.get(p, ())
 
     def cyclic_partners(self, g: Group, p: ProcessId) -> Tuple[Group, ...]:
         """``H(p, g)`` of Lemma 30: groups ``h`` intersecting ``g`` such

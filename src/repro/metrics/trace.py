@@ -49,7 +49,7 @@ WAIT_REASONS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class RoundTrace:
     """The counters of one executed round.
 
@@ -97,8 +97,17 @@ class TraceRecorder:
 
     def __init__(self) -> None:
         self.rounds: List[RoundTrace] = []
-        self._open: Optional[RoundTrace] = None
-        # Event counters accumulate here between begin/end calls.
+        # All per-round counters accumulate in plain attributes between
+        # begin/end calls; the RoundTrace object is built once per round
+        # at end_round (a single batched append instead of per-event
+        # dataclass field updates on the scheduler's hot path).
+        self._in_round = False
+        self._time = 0
+        self._eligible = 0
+        self._full_scan = False
+        self._scanned = 0
+        self._skipped = 0
+        self._actions = 0
         self._quorum_queries = 0
         self._quorum_stalls = 0
         self._gamma_queries = 0
@@ -108,15 +117,13 @@ class TraceRecorder:
     # -- Round lifecycle (driven by the engine/kernel) ---------------------
 
     def begin_round(self, time: int, eligible: int, full_scan: bool) -> None:
-        self._open = RoundTrace(
-            round=len(self.rounds) + 1,
-            time=time,
-            eligible=eligible,
-            scanned=0,
-            skipped=0,
-            actions=0,
-            full_scan=full_scan,
-        )
+        self._in_round = True
+        self._time = time
+        self._eligible = eligible
+        self._full_scan = full_scan
+        self._scanned = 0
+        self._skipped = 0
+        self._actions = 0
         self._quorum_queries = 0
         self._quorum_stalls = 0
         self._gamma_queries = 0
@@ -124,28 +131,36 @@ class TraceRecorder:
         self._wait_reasons = {}
 
     def end_round(self) -> Optional[RoundTrace]:
-        current = self._open
-        if current is None:
+        if not self._in_round:
             return None
-        current.quorum_queries = self._quorum_queries
-        current.quorum_stalls = self._quorum_stalls
-        current.gamma_queries = self._gamma_queries
-        current.indicator_queries = self._indicator_queries
-        current.wait_reasons = dict(self._wait_reasons)
+        current = RoundTrace(
+            round=len(self.rounds) + 1,
+            time=self._time,
+            eligible=self._eligible,
+            scanned=self._scanned,
+            skipped=self._skipped,
+            actions=self._actions,
+            full_scan=self._full_scan,
+            quorum_queries=self._quorum_queries,
+            quorum_stalls=self._quorum_stalls,
+            gamma_queries=self._gamma_queries,
+            indicator_queries=self._indicator_queries,
+            wait_reasons=dict(self._wait_reasons),
+        )
         self.rounds.append(current)
-        self._open = None
+        self._in_round = False
         return current
 
     # -- Event sinks (called by guards, oracles, schedulers) ---------------
 
     def note_scanned(self, fired: int) -> None:
-        if self._open is not None:
-            self._open.scanned += 1
-            self._open.actions += fired
+        if self._in_round:
+            self._scanned += 1
+            self._actions += fired
 
     def note_skipped(self) -> None:
-        if self._open is not None:
-            self._open.skipped += 1
+        if self._in_round:
+            self._skipped += 1
 
     def note_quorum_query(self, available: bool) -> None:
         self._quorum_queries += 1

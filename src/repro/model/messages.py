@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.model.errors import ModelError
 from repro.model.processes import ProcessId, ProcessSet, pset
@@ -92,7 +93,7 @@ class MessageFactory:
         return MulticastMessage(mid=mid, src=src, dst=group, payload=payload)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Datagram:
     """A point-to-point protocol message in transit.
 
@@ -140,7 +141,10 @@ class MessageBuffer:
     """
 
     def __init__(self, injector: Optional[Any] = None) -> None:
-        self._pending: Dict[ProcessId, List[Datagram]] = {}
+        # Per-destination FIFO queues; deques make the hot receive path
+        # O(1) (the former list.pop(0) shifted the whole queue per
+        # receive, quadratic in queue depth under open-loop load).
+        self._pending: Dict[ProcessId, Deque[Datagram]] = {}
         self._uid = itertools.count(1)
         self.sent_count = 0
         self.received_count = 0
@@ -162,7 +166,7 @@ class MessageBuffer:
         datagram = Datagram(src=src, dst=dst, tag=tag, body=body, uid=next(self._uid))
         self.sent_count += 1
         if self._injector is None:
-            self._pending.setdefault(dst, []).append(datagram)
+            self._pending.setdefault(dst, deque()).append(datagram)
             return datagram
         verdict = self._injector.on_send(src.index, dst.index, self._now)
         if verdict.dropped:
@@ -181,7 +185,7 @@ class MessageBuffer:
                     self._delayed, (self._now + verdict.delay, copy.uid, copy)
                 )
             else:
-                self._pending.setdefault(dst, []).append(copy)
+                self._pending.setdefault(dst, deque()).append(copy)
         return datagram
 
     def broadcast(
@@ -191,8 +195,30 @@ class MessageBuffer:
         tag: str,
         body: Tuple[Any, ...] = (),
     ) -> List[Datagram]:
-        """Send one copy of the datagram to every destination."""
-        return [self.send(src, dst, tag, body) for dst in dsts]
+        """Send one copy of the datagram to every destination.
+
+        The fault-free path mints and enqueues the whole batch inline —
+        one bulk counter update, no per-copy dispatch — which is the
+        shape substrate automata actually send in (round announcements to
+        a full group).  With an injector every copy still goes through
+        :meth:`send` so per-link fault verdicts apply.
+        """
+        if self._injector is not None:
+            return [self.send(src, dst, tag, body) for dst in dsts]
+        pending = self._pending
+        uid = self._uid
+        batch: List[Datagram] = []
+        for dst in dsts:
+            datagram = Datagram(
+                src=src, dst=dst, tag=tag, body=body, uid=next(uid)
+            )
+            queue = pending.get(dst)
+            if queue is None:
+                pending[dst] = queue = deque()
+            queue.append(datagram)
+            batch.append(datagram)
+        self.sent_count += len(batch)
+        return batch
 
     def pending_for(self, p: ProcessId) -> Tuple[Datagram, ...]:
         """A snapshot of the datagrams currently addressed to ``p``."""
@@ -215,8 +241,13 @@ class MessageBuffer:
             return NULL_MESSAGE
         self.received_count += 1
         if self._injector is None:
-            return queue.pop(0)
-        return queue.pop(self._injector.pick_receive(p.index, len(queue), self._now))
+            return queue.popleft()
+        index = self._injector.pick_receive(p.index, len(queue), self._now)
+        if index == 0:
+            return queue.popleft()
+        datagram = queue[index]
+        del queue[index]
+        return datagram
 
     def receive_specific(self, p: ProcessId, datagram: Datagram) -> Datagram:
         """Remove a specific pending datagram (adversarial schedulers)."""
@@ -255,7 +286,7 @@ class MessageBuffer:
         released = 0
         while self._delayed and self._delayed[0][0] <= now:
             _, _, datagram = heapq.heappop(self._delayed)
-            self._pending.setdefault(datagram.dst, []).append(datagram)
+            self._pending.setdefault(datagram.dst, deque()).append(datagram)
             released += 1
         return released
 

@@ -23,7 +23,7 @@ from repro.model.messages import MulticastMessage
 from repro.model.processes import ProcessId, ProcessSet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Step:
     """One step ``(p, m, d)`` of an automaton, with its time.
 
@@ -37,7 +37,7 @@ class Step:
     detector_sample: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MulticastEvent:
     """``multicast(m)`` was invoked."""
 
@@ -46,7 +46,7 @@ class MulticastEvent:
     message: MulticastMessage
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryEvent:
     """``deliver(m)`` occurred at a process."""
 
@@ -73,9 +73,20 @@ class RunRecord:
         self.pattern = pattern
         self.multicasts: List[MulticastEvent] = []
         self.deliveries: List[DeliveryEvent] = []
-        self.steps: List[Step] = []
+        # Steps are kept as parallel arrays: the step flood (invoker +
+        # every carrier, per shared-object operation) dominates record
+        # growth, and four flat lists append an order of magnitude
+        # faster than one frozen dataclass per charge.  ``steps``
+        # materializes the Step view lazily for checkers and tests.
+        self._step_times: List[Time] = []
+        self._step_procs: List[ProcessId] = []
+        self._step_received: List[Optional[str]] = []
+        self._step_samples: List[Any] = []
+        self._steps_cache: Optional[List[Step]] = None
         self._local_orders: Dict[ProcessId, List[MulticastMessage]] = {}
         self._delivery_times: Dict[Tuple[ProcessId, Any], Time] = {}
+        self._times_by_mid: Dict[Any, Dict[ProcessId, Time]] = {}
+        self._pair_counts: Dict[Tuple[ProcessId, Any], int] = {}
         self._multicast_times: Dict[Any, Time] = {}
         self._step_counts: Dict[ProcessId, int] = {}
 
@@ -93,6 +104,9 @@ class RunRecord:
         self.deliveries.append(DeliveryEvent(time, process, message))
         self._local_orders.setdefault(process, []).append(message)
         self._delivery_times[(process, message.mid)] = time
+        self._times_by_mid.setdefault(message.mid, {})[process] = time
+        pair = (process, message.mid)
+        self._pair_counts[pair] = self._pair_counts.get(pair, 0) + 1
 
     def note_step(
         self,
@@ -101,8 +115,33 @@ class RunRecord:
         received: Optional[str] = None,
         detector_sample: Any = None,
     ) -> None:
-        self.steps.append(Step(time, process, received, detector_sample))
+        self._step_times.append(time)
+        self._step_procs.append(process)
+        self._step_received.append(received)
+        self._step_samples.append(detector_sample)
         self._step_counts[process] = self._step_counts.get(process, 0) + 1
+
+    @property
+    def steps(self) -> List[Step]:
+        """The recorded steps as :class:`Step` objects (lazy view).
+
+        Materialized from the parallel arrays on first access and cached
+        until further steps arrive; treat the returned list as
+        read-only.
+        """
+        cache = self._steps_cache
+        if cache is None or len(cache) != len(self._step_times):
+            cache = [
+                Step(t, p, r, d)
+                for t, p, r, d in zip(
+                    self._step_times,
+                    self._step_procs,
+                    self._step_received,
+                    self._step_samples,
+                )
+            ]
+            self._steps_cache = cache
+        return cache
 
     # -- Derived queries (used by checkers and metrics) -------------------
 
@@ -124,9 +163,7 @@ class RunRecord:
         return tuple(seen.values())
 
     def delivered_by(self, message: MulticastMessage) -> ProcessSet:
-        return frozenset(
-            p for (p, mid), _ in self._delivery_times.items() if mid == message.mid
-        )
+        return frozenset(self._times_by_mid.get(message.mid, ()))
 
     def delivery_time(
         self, p: ProcessId, message: MulticastMessage
@@ -134,10 +171,8 @@ class RunRecord:
         return self._delivery_times.get((p, message.mid))
 
     def first_delivery_time(self, message: MulticastMessage) -> Optional[Time]:
-        times = [
-            t for (_, mid), t in self._delivery_times.items() if mid == message.mid
-        ]
-        return min(times) if times else None
+        times = self._times_by_mid.get(message.mid)
+        return min(times.values()) if times else None
 
     def multicast_time(self, message: MulticastMessage) -> Optional[Time]:
         return self._multicast_times.get(message.mid)
@@ -151,14 +186,11 @@ class RunRecord:
 
     def delivery_count(self, p: ProcessId, message: MulticastMessage) -> int:
         """How many times ``p`` delivered ``message`` (Integrity wants <= 1)."""
-        return sum(
-            1
-            for event in self.deliveries
-            if event.process == p and event.message.mid == message.mid
-        )
+        return self._pair_counts.get((p, message.mid), 0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RunRecord({len(self.multicasts)} multicasts, "
-            f"{len(self.deliveries)} deliveries, {len(self.steps)} steps)"
+            f"{len(self.deliveries)} deliveries, "
+            f"{len(self._step_times)} steps)"
         )

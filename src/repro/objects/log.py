@@ -42,6 +42,19 @@ class Log:
         self._positions: Dict[Any, int] = {}
         self._locked: Set[Any] = set()
         self._head = 1
+        #: Mutation counter: keys the memoized sorted views below.  The
+        #: action scans re-read ``messages()`` and the record accessors
+        #: every round; re-sorting only after an actual mutation turns
+        #: the steady-state scan from O(n log n) per call into O(1).
+        self._version = 0
+        self._messages_cache: Tuple[Any, ...] = ()
+        self._messages_version = -1
+        self._records_cache: Tuple[Tuple[Any, ...], ...] = ()
+        self._records_version = -1
+        #: Tuple-shaped records indexed by their head element (the
+        #: message id), in insertion order — the per-message accessors
+        #: sort these few rows instead of filtering every record.
+        self._records_by_head: Dict[Any, List[Tuple[Any, ...]]] = {}
 
     # -- Core interface (§4.3) -------------------------------------------
 
@@ -56,6 +69,9 @@ class Log:
         position = self._head
         self._positions[datum] = position
         self._head = position + 1
+        self._version += 1
+        if isinstance(datum, tuple) and datum:
+            self._records_by_head.setdefault(datum[0], []).append(datum)
         return position
 
     def pos(self, datum: Any) -> int:
@@ -79,6 +95,7 @@ class Log:
         final = max(k, current)
         self._positions[datum] = final
         self._locked.add(datum)
+        self._version += 1
         if final >= self._head:
             self._head = final + 1
         return final
@@ -86,6 +103,15 @@ class Log:
     def locked(self, datum: Any) -> bool:
         """Whether ``datum`` is locked in the log."""
         return datum in self._locked
+
+    @property
+    def version(self) -> int:
+        """Mutation counter — unchanged means every view is unchanged.
+
+        Readers that scan the log every round (message discovery) use
+        this to skip re-reads entirely between mutations.
+        """
+        return self._version
 
     def __contains__(self, datum: Any) -> bool:
         return datum in self._positions
@@ -121,33 +147,55 @@ class Log:
         """The *message* items of the log, in ``<_L`` order.
 
         Messages are recognized by not being tuples (Algorithm 1 stores
-        records as tuples).
+        records as tuples).  The sorted view is memoized per mutation.
         """
-        present = [d for d in self._positions if not isinstance(d, tuple)]
-        present.sort(key=lambda d: (self._positions[d], d))
-        return tuple(present)
+        if self._messages_version != self._version:
+            present = [d for d in self._positions if not isinstance(d, tuple)]
+            present.sort(key=lambda d: (self._positions[d], d))
+            self._messages_cache = tuple(present)
+            self._messages_version = self._version
+        return self._messages_cache
 
     def messages_before(self, datum: Any) -> Tuple[Any, ...]:
         """Messages ``m'`` with ``m' <_L datum``."""
+        if not isinstance(datum, tuple) and datum in self._positions:
+            # ``messages()`` is sorted by exactly the ``<_L`` key, so the
+            # predecessors of a present message form a prefix.
+            out: List[Any] = []
+            for m in self.messages():
+                if self.precedes(m, datum):
+                    out.append(m)
+                else:
+                    break
+            return tuple(out)
         return tuple(m for m in self.messages() if self.precedes(m, datum))
 
     def records(self) -> Tuple[Tuple[Any, ...], ...]:
         """The tuple-shaped records of the log, in insertion-slot order."""
-        present = [d for d in self._positions if isinstance(d, tuple)]
-        present.sort(key=lambda d: self._positions[d])
-        return tuple(present)
+        if self._records_version != self._version:
+            present = [d for d in self._positions if isinstance(d, tuple)]
+            present.sort(key=lambda d: self._positions[d])
+            self._records_cache = tuple(present)
+            self._records_version = self._version
+        return self._records_cache
 
     def position_records_for(self, message: Any) -> Tuple[Tuple[Any, Any, int], ...]:
         """Records ``(m, h, i)`` of ``message`` (written at line 14)."""
-        return tuple(
-            r for r in self.records() if len(r) == 3 and r[0] == message
-        )
+        rows = self._records_by_head.get(message)
+        if not rows:
+            return ()
+        out = [r for r in rows if len(r) == 3]
+        out.sort(key=lambda r: self._positions[r])
+        return tuple(out)
 
     def stabilization_records_for(self, message: Any) -> Tuple[Tuple[Any, Any], ...]:
         """Records ``(m, h)`` of ``message`` (written at line 29)."""
-        return tuple(
-            r for r in self.records() if len(r) == 2 and r[0] == message
-        )
+        rows = self._records_by_head.get(message)
+        if not rows:
+            return ()
+        out = [r for r in rows if len(r) == 2]
+        out.sort(key=lambda r: self._positions[r])
+        return tuple(out)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}[{len(self._positions)} items, head={self._head}]"

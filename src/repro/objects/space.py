@@ -132,6 +132,10 @@ class LogHandle:
 
     # -- Reads (free) --------------------------------------------------------
 
+    @property
+    def version(self) -> int:
+        return self.log.version
+
     def pos(self, datum: Any) -> int:
         return self.log.pos(datum)
 

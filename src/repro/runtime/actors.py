@@ -49,7 +49,12 @@ class SharedObjectActor(Actor):
     def parked(self, t: Time) -> bool:
         return self._pid not in self._system._dirty
 
-    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+    def fire(
+        self,
+        t: Time,
+        budget: Optional[int] = None,
+        parked: Optional[bool] = None,
+    ) -> int:
         system, pid = self._system, self._pid
         system._dirty.discard(pid)
         fired = 0
@@ -84,17 +89,25 @@ class AutomatonActor(Actor):
     def __init__(self, kernel, pid: ProcessId) -> None:
         self._kernel = kernel
         self._pid = pid
+        # Live references (the kernel never rebinds these attributes);
+        # resolving them per parked() call showed up in profiles.
+        self._automaton = kernel.automata[pid]
+        self._buffer = kernel.buffer
 
     def parked(self, t: Time) -> bool:
-        kernel, pid = self._kernel, self._pid
         return (
-            pid in kernel._started
-            and kernel.automata[pid].idle()
-            and not kernel.buffer.has_pending(pid)
+            self._pid in self._kernel._started
+            and self._automaton.idle()
+            and not self._buffer.has_pending(self._pid)
         )
 
-    def fire(self, t: Time, budget: Optional[int] = None) -> int:
-        productive = not self.parked(t)
+    def fire(
+        self,
+        t: Time,
+        budget: Optional[int] = None,
+        parked: Optional[bool] = None,
+    ) -> int:
+        productive = not self.parked(t) if parked is None else not parked
         self._kernel.step_process(self._pid)
         return 1 if productive else 0
 
@@ -114,7 +127,12 @@ class SystemActor(Actor):
     def __init__(self, advance: Callable[[Time], int]) -> None:
         self._advance = advance
 
-    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+    def fire(
+        self,
+        t: Time,
+        budget: Optional[int] = None,
+        parked: Optional[bool] = None,
+    ) -> int:
         return self._advance(t)
 
     def wait_reasons(self) -> Iterable[str]:

@@ -37,6 +37,7 @@ thin delegations.  Two invariants make that safe:
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -72,7 +73,10 @@ class Actor:
       shuffle, so parking never changes the RNG stream.
     * :meth:`fire` — take the actor's step(s); returns the number of
       *productive* actions (0 = the step provably changed nothing),
-      which feeds both the tracer and quiescence detection.
+      which feeds both the tracer and quiescence detection.  The
+      scheduler passes ``parked=False`` when its own skip check already
+      proved the actor un-parked this round, so adapters whose
+      productivity test *is* the parked test need not recompute it.
     * :meth:`wait_reasons` — why a scanned-but-idle actor is blocked
       (histogrammed into the round trace).
 
@@ -86,7 +90,12 @@ class Actor:
     def parked(self, t: Time) -> bool:
         return False
 
-    def fire(self, t: Time, budget: Optional[int] = None) -> int:
+    def fire(
+        self,
+        t: Time,
+        budget: Optional[int] = None,
+        parked: Optional[bool] = None,
+    ) -> int:
         raise NotImplementedError
 
     def wait_reasons(self) -> Iterable[str]:
@@ -136,6 +145,12 @@ class Scheduler:
             round (finite asynchrony: churn windows are bounded, so
             fairness holds in the suffix).  ``None`` leaves every code
             path byte-identical to the fault-free scheduler.
+        alive_instants: optional times at which ``is_alive`` answers can
+            change (the host's crash instants).  When given, the default
+            eligibility filter is recomputed only when the clock crosses
+            an instant instead of once per round — with hundreds of
+            actors the per-round alive sweep dominates scheduling cost.
+            ``None`` preserves the per-round filter.
         pending_work: optional callable returning the amount of work the
             actors cannot see yet but that is still due — e.g. datagrams
             a link fault holds sequestered in the message buffer's delay
@@ -159,10 +174,16 @@ class Scheduler:
         responders: Optional[FrozenSet[Key]] = None,
         injector: Optional[Any] = None,
         pending_work: Optional[Callable[[], int]] = None,
+        alive_instants: Optional[Iterable[Time]] = None,
     ) -> None:
         if scheduling not in SCHEDULING_MODES:
             raise SimulationError(f"unknown scheduling mode {scheduling!r}")
         self._actors: Dict[Key, Actor] = dict(actors)
+        #: Keys in sorted order, fixed at construction: iterating this
+        #: (filtered) yields the eligible set already sorted, replacing
+        #: the per-round ``order.sort()`` of the seed loops with the
+        #: byte-identical result.
+        self._sorted_keys: Tuple[Key, ...] = tuple(sorted(self._actors))
         self._rng = rng
         self.tracer = tracer
         self._is_alive = is_alive
@@ -180,7 +201,24 @@ class Scheduler:
         self.responders: FrozenSet[Key] = responders or frozenset()
         #: Fingerprint of (scheduled set, responder set) of the last
         #: round; a change forces a full scan (quorum availability).
-        self._fingerprint: Optional[Tuple[FrozenSet, FrozenSet]] = None
+        #: Stored as the *sorted eligible list* plus the responder set —
+        #: sorted-list equality is set equality without per-round
+        #: hashing.
+        self._fp_eligible: Optional[Tuple[Key, ...]] = None
+        self._fp_responders: Optional[FrozenSet[Key]] = None
+        #: Cache of the default (participation-derived) responder set, so
+        #: steady-state rounds reuse one frozenset instead of rebuilding
+        #: an identical one every round.
+        self._default_eligible: Optional[Tuple[Key, ...]] = None
+        self._default_responders: Optional[FrozenSet[Key]] = None
+        #: Alive-filter memo: the filtered key list is a pure function of
+        #: the crash epoch, so between crash instants the previous
+        #: round's result is reused verbatim.
+        self._alive_instants = (
+            None if alive_instants is None else sorted(alive_instants)
+        )
+        self._alive_epoch: Optional[int] = None
+        self._alive_order: Tuple[Key, ...] = ()
 
     # -- One round ---------------------------------------------------------
 
@@ -203,24 +241,48 @@ class Scheduler:
         self.time += 1
         if self._pre_round is not None:
             self._pre_round(self.time)
-        order = [
-            key
-            for key in self._actors
-            if self._is_alive(key, self.time)
-            and (participation is None or key in participation)
-        ]
+        is_alive, now = self._is_alive, self.time
+        if participation is None:
+            if self._alive_instants is not None:
+                epoch = bisect_right(self._alive_instants, now)
+                if epoch != self._alive_epoch:
+                    self._alive_epoch = epoch
+                    self._alive_order = tuple(
+                        key
+                        for key in self._sorted_keys
+                        if is_alive(key, now)
+                    )
+                order = list(self._alive_order)
+            else:
+                order = [
+                    key for key in self._sorted_keys if is_alive(key, now)
+                ]
+        else:
+            order = [
+                key
+                for key in self._sorted_keys
+                if is_alive(key, now) and key in participation
+            ]
         if self._injector is not None:
             # Participation churn: suppressed actors take no step this
             # round and answer no quorum requests.  Filtered before the
-            # sort/shuffle — only faulted runs ever reach this branch,
-            # so the fault-free RNG stream is untouched.
+            # shuffle — only faulted runs ever reach this branch, so the
+            # fault-free RNG stream is untouched.
             order = [
                 key
                 for key in order
                 if not self._injector.suppresses(key, self.time)
             ]
+        # ``order`` is already sorted (it filters the pre-sorted keys);
+        # snapshot it before the shuffle for fingerprinting.
+        eligible = tuple(order)
         if responders is None:
-            self.responders = frozenset(order)
+            if eligible == self._default_eligible:
+                self.responders = self._default_responders
+            else:
+                self.responders = frozenset(eligible)
+                self._default_eligible = eligible
+                self._default_responders = self.responders
         else:
             self.responders = frozenset(
                 key
@@ -231,18 +293,22 @@ class Scheduler:
                     or not self._injector.suppresses(key, self.time)
                 )
             )
-        order.sort()
         self._rng.shuffle(order)
-        fingerprint = (frozenset(order), self.responders)
+        fingerprint_changed = eligible != self._fp_eligible or (
+            self.responders is not self._fp_responders
+            and self.responders != self._fp_responders
+        )
         full_scan = (
             self.scheduling == "scan"
             or self.time <= self._settle_horizon()
-            or fingerprint != self._fingerprint
+            or fingerprint_changed
             or (action_budget is not None and action_budget <= 0)
         )
-        self._fingerprint = fingerprint
+        self._fp_eligible = eligible
+        self._fp_responders = self.responders
         self.tracer.begin_round(self.time, len(order), full_scan)
         fired = 0
+        parked_hint = None if full_scan else False
         for key in order:
             actor = self._actors[key]
             if not full_scan and actor.parked(self.time):
@@ -250,7 +316,7 @@ class Scheduler:
                 for reason in actor.SKIP_WAIT:
                     self.tracer.note_wait(reason)
                 continue
-            count = actor.fire(self.time, action_budget)
+            count = actor.fire(self.time, action_budget, parked_hint)
             fired += count
             self.tracer.note_scanned(count)
             if count == 0:

@@ -36,6 +36,8 @@ class Context:
         detector: the sample obtained from the local detector module.
     """
 
+    __slots__ = ("pid", "time", "detector", "_buffer", "_outputs")
+
     def __init__(
         self,
         pid: ProcessId,
@@ -50,14 +52,32 @@ class Context:
         self._buffer = buffer
         self._outputs = outputs
 
+    def bind(
+        self,
+        pid: ProcessId,
+        time: Time,
+        detector: Any,
+        outputs: List[Any],
+    ) -> "Context":
+        """Re-point this view at another step (kernel-internal reuse).
+
+        Automata only use the context synchronously within one step, so
+        the kernel keeps a single instance instead of allocating one per
+        step.
+        """
+        self.pid = pid
+        self.time = time
+        self.detector = detector
+        self._outputs = outputs
+        return self
+
     def send(self, dst: ProcessId, tag: str, *body: Any) -> None:
         """Queue a datagram to ``dst``."""
         self._buffer.send(self.pid, dst, tag, tuple(body))
 
     def broadcast(self, dsts: Sequence[ProcessId], tag: str, *body: Any) -> None:
         """Queue one datagram per destination (including self if listed)."""
-        for dst in dsts:
-            self._buffer.send(self.pid, dst, tag, tuple(body))
+        self._buffer.broadcast(self.pid, dsts, tag, tuple(body))
 
     def output(self, value: Any) -> None:
         """Append to the process's output queue (OUT of Appendix A)."""
@@ -124,6 +144,8 @@ class Kernel:
         }
         self.steps_taken: Dict[ProcessId, int] = {p: 0 for p in automata}
         self._started: set = set()
+        #: Reusable per-step context view (see :meth:`Context.bind`).
+        self._ctx = Context(None, 0, None, self.buffer, [])
         self._rng = random.Random(seed)
         #: Crash-time drop schedule: instead of sweeping every inbox each
         #: round, pending datagrams are dropped once when their owner's
@@ -148,6 +170,11 @@ class Kernel:
             pending_work=(
                 self.buffer.delayed_count if injector is not None else None
             ),
+            alive_instants={
+                when
+                for p, when in pattern.crash_times.items()
+                if p in self.automata
+            },
         )
 
     @property
@@ -203,16 +230,18 @@ class Kernel:
 
     def step_process(self, p: ProcessId) -> None:
         """Execute one step of ``p`` (receive, sample, transition)."""
-        if not self.pattern.is_alive(p, self.time):
+        t = self._scheduler.time
+        if not self.pattern.is_alive(p, t):
             raise SimulationError(f"{p} is crashed and cannot step")
         detector = self.detectors.get(p)
-        sample = detector.query(p, self.time) if detector else None
-        ctx = Context(p, self.time, sample, self.buffer, self.outputs[p])
+        sample = detector.query(p, t) if detector else None
+        ctx = self._ctx.bind(p, t, sample, self.outputs[p])
+        automaton = self.automata[p]
         if p not in self._started:
             self._started.add(p)
-            self.automata[p].on_start(ctx)
+            automaton.on_start(ctx)
         datagram = self.buffer.receive(p)
-        self.automata[p].on_step(ctx, datagram)
+        automaton.on_step(ctx, datagram)
         self.steps_taken[p] += 1
 
     def round(self, participation: Optional[ProcessSet] = None) -> int:

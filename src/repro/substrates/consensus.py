@@ -19,6 +19,7 @@ The detector handed to each process must provide samples shaped as
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.detectors.base import FailureDetector
@@ -45,12 +46,27 @@ class OmegaSigmaSampler(FailureDetector):
         restricted = pattern.restricted_to(scope)
         self.omega = OmegaOracle(restricted, scope, **kwargs)
         self.sigma = SigmaOracle(restricted, scope)
+        # Both oracle outputs are pure functions of the crash epoch (plus
+        # Omega's stabilization boundary), so the bundled sample dict can
+        # be built once per inter-instant interval instead of once per
+        # step — the kernel queries it for every process every round.
+        self._instants = sorted(
+            set(self.sigma._crash_instants)
+            | set(self.omega._crash_instants)
+            | {self.omega.stabilization_time}
+        )
+        self._cache: Dict[Tuple[ProcessId, int], Dict[str, Any]] = {}
 
     def query(self, p: ProcessId, t: Time) -> Dict[str, Any]:
-        return {
-            "omega": self.omega.query(p, t),
-            "sigma": self.sigma.query(p, t),
-        }
+        key = (p, bisect_right(self._instants, t))
+        sample = self._cache.get(key)
+        if sample is None:
+            sample = {
+                "omega": self.omega.query(p, t),
+                "sigma": self.sigma.query(p, t),
+            }
+            self._cache[key] = sample
+        return sample
 
 
 class ConsensusAutomaton(Automaton):
@@ -82,17 +98,18 @@ class ConsensusAutomaton(Automaton):
 
     def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
         if datagram is not None:
-            self._handle(ctx, datagram)
+            self._handle(ctx, datagram.src, datagram.tag, datagram.body)
         self._progress(ctx)
 
-    def _handle(self, ctx: Context, datagram: Datagram) -> None:
-        tag, body = datagram.tag, datagram.body
+    def _handle(
+        self, ctx: Context, src: ProcessId, tag: str, body: Tuple[Any, ...]
+    ) -> None:
         if tag == "PREPARE":
             (ballot,) = body
             if ballot > self.promised:
                 self.promised = ballot
             ctx.send(
-                datagram.src,
+                src,
                 "PROMISE",
                 ballot,
                 self.promised,
@@ -103,7 +120,7 @@ class ConsensusAutomaton(Automaton):
             ballot, promised, acc_ballot, acc_value = body
             if ballot == self._ballot and self._phase == "prepare":
                 if promised <= ballot:
-                    self._promises[datagram.src] = (acc_ballot, acc_value)
+                    self._promises[src] = (acc_ballot, acc_value)
                 else:
                     # Superseded mid-prepare: the acceptor has promised a
                     # higher ballot, so this quorum can never complete.
@@ -122,13 +139,13 @@ class ConsensusAutomaton(Automaton):
                 self.promised = ballot
                 self.accepted_ballot = ballot
                 self.accepted_value = value
-                ctx.send(datagram.src, "ACCEPTED", ballot)
+                ctx.send(src, "ACCEPTED", ballot)
             else:
-                ctx.send(datagram.src, "NACK", ballot)
+                ctx.send(src, "NACK", ballot)
         elif tag == "ACCEPTED":
             (ballot,) = body
             if ballot == self._ballot and self._phase == "accept":
-                self._accepts.add(datagram.src)
+                self._accepts.add(src)
         elif tag == "NACK":
             (ballot,) = body
             if ballot == self._ballot:
@@ -167,7 +184,9 @@ class ConsensusAutomaton(Automaton):
             self._phase = "prepare"
             self._promises = {}
             ctx.broadcast(self.scope, "PREPARE", self._ballot)
-        elif self._phase == "prepare" and set(quorum) <= set(self._promises):
+        elif self._phase == "prepare" and all(
+            q in self._promises for q in quorum
+        ):
             # Adopt the value of the highest accepted ballot, if any.
             best: Tuple[Ballot, Any] = (NO_BALLOT, None)
             for acc in self._promises.values():
@@ -181,7 +200,9 @@ class ConsensusAutomaton(Automaton):
             ctx.broadcast(
                 self.scope, "ACCEPT", self._ballot, self._value_in_flight
             )
-        elif self._phase == "accept" and set(quorum) <= self._accepts:
+        elif self._phase == "accept" and all(
+            q in self._accepts for q in quorum
+        ):
             if self.decision is None:
                 self.decision = self._value_in_flight
                 ctx.output(("decide", self._value_in_flight))

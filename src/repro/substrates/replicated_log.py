@@ -40,6 +40,10 @@ class ReplicatedLogAutomaton(Automaton):
         self._pending: List[Any] = []
         self.applied: List[Any] = []
         self._next_slot = 0
+        #: One reusable slot-context view, rebound per call — the kernel
+        #: steps this automaton once per process per round, and a fresh
+        #: wrapper allocation per step showed up in profiles.
+        self._slot_ctx = _SlotContext()
 
     def append(self, value: Any) -> None:
         """Client call: replicate ``value`` (at-least-once per slot)."""
@@ -65,17 +69,12 @@ class ReplicatedLogAutomaton(Automaton):
         return automaton
 
     def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
+        slot_ctx = self._slot_ctx
         if datagram is not None:
             slot_index = datagram.body[0]
-            inner = Datagram(
-                src=datagram.src,
-                dst=datagram.dst,
-                tag=datagram.tag,
-                body=datagram.body[1:],
-                uid=datagram.uid,
-            )
+            slot_ctx.bind(ctx, slot_index)
             self._slot(slot_index)._handle(
-                _SlotContext(ctx, slot_index), inner
+                slot_ctx, datagram.src, datagram.tag, datagram.body[1:]
             )
         # Drive the current head slot: propose the head pending value, and
         # keep progressing the slot while it is undecided — a leader with
@@ -85,7 +84,8 @@ class ReplicatedLogAutomaton(Automaton):
             head = self._slot(self._next_slot)
             head.propose(self._pending[0])
         if head is not None and head.decision is None:
-            head._progress(_SlotContext(ctx, self._next_slot))
+            slot_ctx.bind(ctx, self._next_slot)
+            head._progress(slot_ctx)
         # Apply decided slots in order.
         while True:
             head = self._slots.get(self._next_slot)
@@ -102,9 +102,25 @@ class ReplicatedLogAutomaton(Automaton):
 
 
 class _SlotContext:
-    """A context view that prefixes every message with its slot index."""
+    """A context view that prefixes every message with its slot index.
 
-    def __init__(self, ctx: Context, slot: int) -> None:
+    Rebindable: the replicated-log automaton keeps one instance and
+    re-points it at the current step context and slot (the view is only
+    used synchronously within one ``_handle``/``_progress`` call).
+    """
+
+    __slots__ = ("_ctx", "_slot", "pid", "time", "detector")
+
+    def __init__(
+        self, ctx: Optional[Context] = None, slot: int = 0
+    ) -> None:
+        self._ctx = ctx
+        self._slot = slot
+        self.pid = ctx.pid if ctx is not None else None
+        self.time = ctx.time if ctx is not None else 0
+        self.detector = ctx.detector if ctx is not None else None
+
+    def bind(self, ctx: Context, slot: int) -> None:
         self._ctx = ctx
         self._slot = slot
         self.pid = ctx.pid
@@ -115,8 +131,9 @@ class _SlotContext:
         self._ctx.send(dst, tag, self._slot, *body)
 
     def broadcast(self, dsts, tag: str, *body: Any) -> None:
-        for dst in dsts:
-            self.send(dst, tag, *body)
+        # One batched buffer call (the buffer mints uids in destination
+        # order, identical to per-destination sends).
+        self._ctx.broadcast(dsts, tag, self._slot, *body)
 
     def output(self, value: Any) -> None:
         self._ctx.output((self._slot, value))

@@ -11,11 +11,14 @@ from repro.workloads.runner import (
 )
 from repro.workloads.spec import ScenarioSpec, TopologySpec
 from repro.workloads.topologies import (
+    GENERATORS,
+    build_generator,
     chain_topology,
     disjoint_topology,
     hub_topology,
     random_topology,
     ring_topology,
+    sparse_overlap_topology,
 )
 
 __all__ = [
@@ -28,9 +31,12 @@ __all__ = [
     "scenario_cache_key",
     "triage_line",
     "triage_record",
+    "GENERATORS",
+    "build_generator",
     "chain_topology",
     "disjoint_topology",
     "hub_topology",
     "random_topology",
     "ring_topology",
+    "sparse_overlap_topology",
 ]

@@ -16,8 +16,8 @@ A :class:`repro.workloads.spec.ScenarioSpec` is a frozen, hashable value
 object, so scenarios can be stored, hashed, shipped to worker processes
 and replayed (see :mod:`repro.campaign`).  The legacy form
 ``run_scenario(topology, pattern, sends, ...)`` remains as a shim whose
-tuning parameters are keyword-only; passing them positionally emits a
-:class:`DeprecationWarning`.
+tuning parameters are strictly keyword-only; passing them positionally
+(deprecated for several releases) is now a :class:`TypeError`.
 
 Two *backends* execute a spec, both driven by the shared
 :class:`repro.runtime.Scheduler`:
@@ -40,7 +40,6 @@ import hashlib
 import itertools
 import json
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -261,18 +260,6 @@ class ScenarioResult:
             )
 
 
-#: Legacy positional order of the tuning parameters (after the three
-#: scenario-defining positionals); used by the deprecation shim.
-_TUNING_ORDER = (
-    "seed",
-    "variant",
-    "gamma_lag",
-    "indicator_lag",
-    "max_rounds",
-    "scheduling",
-    "trace_path",
-)
-
 _UNSET = object()
 
 
@@ -297,7 +284,8 @@ def run_scenario(
 
     Legacy form: ``run_scenario(topology, pattern, sends, ...)`` with
     every tuning parameter keyword-only.  Passing tuning parameters
-    positionally still works but emits a :class:`DeprecationWarning`.
+    positionally — deprecated for several releases — is now a
+    :class:`TypeError`.
 
     Sends whose sender is already crashed at their round are skipped and
     reported in ``skipped_sends`` (a crashed process cannot multicast).
@@ -345,31 +333,14 @@ def run_scenario(
             "three scenario arguments (or pass a single ScenarioSpec)"
         )
     if legacy_tuning:
-        if len(legacy_tuning) > len(_TUNING_ORDER):
-            raise TypeError(
-                f"run_scenario takes at most {3 + len(_TUNING_ORDER)} "
-                f"positional arguments ({3 + len(legacy_tuning)} given)"
-            )
-        positional = dict(zip(_TUNING_ORDER, legacy_tuning))
-        warnings.warn(
-            "passing run_scenario tuning parameters "
-            f"({', '.join(positional)}) positionally is deprecated; "
-            "pass them as keywords or use the ScenarioSpec form",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "run_scenario no longer accepts tuning parameters positionally "
+            f"({len(legacy_tuning)} extra positional argument(s) given); "
+            "pass seed/variant/gamma_lag/indicator_lag/max_rounds/"
+            "scheduling/trace_path as keywords, or build a ScenarioSpec "
+            "with ScenarioSpec.capture(topology, pattern, sends, ...) and "
+            "call run_scenario(spec)"
         )
-        clash = set(positional) & set(supplied)
-        if clash:
-            raise TypeError(
-                f"run_scenario got multiple values for {sorted(clash)}"
-            )
-        if "trace_path" in positional:
-            if trace_path is not None:
-                raise TypeError(
-                    "run_scenario got multiple values for ['trace_path']"
-                )
-            trace_path = positional.pop("trace_path")  # type: ignore[assignment]
-        supplied.update(positional)
 
     built = ScenarioSpec.capture(
         topology,

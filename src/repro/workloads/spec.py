@@ -36,9 +36,12 @@ from repro.model.processes import ProcessId, make_processes, pset
 
 #: Bumped on breaking changes to the spec JSON layout.  Version 2 added
 #: the execution-backend axes (``backend``, ``event_driven``); version 3
-#: added the ``faults`` axis (a :class:`repro.faults.FaultPlan`).  Older
-#: payloads load unchanged with the fault-free defaults.
-SPEC_SCHEMA_VERSION = 3
+#: added the ``faults`` axis (a :class:`repro.faults.FaultPlan`);
+#: version 4 added the *generator* form of :class:`TopologySpec` (a
+#: topology addressed by recipe instead of by expanded group map).
+#: Older payloads load unchanged: v1–v3 topologies always carry the
+#: explicit ``groups`` map, which still round-trips byte-identically.
+SPEC_SCHEMA_VERSION = 4
 
 #: The execution backends a scenario can run on: the round-based
 #: shared-object engine of §4.4 or the step-level Appendix-A kernel.
@@ -49,15 +52,29 @@ BACKENDS = ("engine", "kernel")
 class TopologySpec:
     """A destination-group topology as plain data.
 
+    Two forms:
+
+    * **explicit map** (v1+): ``groups`` carries every group's member
+      indices — one canonical form per topology, so equal topologies
+      produce equal specs;
+    * **generator** (v4+): ``generator`` carries a recipe such as
+      ``{"kind": "ring", "k": 200}`` addressing a registered factory in
+      :mod:`repro.workloads.topologies`.  The spec (and hence the
+      scenario hash) covers the *recipe*, not the expanded group map —
+      a 200-group ring is three JSON scalars, and its content address
+      never depends on how the factory happens to lay groups out.
+
     Attributes:
         process_count: size of the process universe ``P``.
         groups: ``(name, member indices)`` pairs, sorted by name, each
-            member tuple sorted ascending — one canonical form per
-            topology, so equal topologies produce equal specs.
+            member tuple sorted ascending.  Empty for generator specs.
+        generator: canonicalized ``(key, value)`` recipe items, or
+            ``None`` for explicit-map specs.
     """
 
     process_count: int
-    groups: Tuple[Tuple[str, Tuple[int, ...]], ...]
+    groups: Tuple[Tuple[str, Tuple[int, ...]], ...] = ()
+    generator: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     @classmethod
     def capture(cls, topology: GroupTopology) -> "TopologySpec":
@@ -72,13 +89,39 @@ class TopologySpec:
             ),
         )
 
+    @classmethod
+    def from_generator(cls, recipe: Mapping[str, Any]) -> "TopologySpec":
+        """A spec addressing a registered topology generator by recipe.
+
+        The recipe is validated by building the topology once (cheap:
+        construction does not enumerate families); parameters should be
+        JSON scalars so the spec round-trips unchanged.
+        """
+        from repro.workloads.topologies import build_generator
+
+        topology = build_generator(recipe)
+        return cls(
+            process_count=max(p.index for p in topology.processes),
+            groups=(),
+            generator=tuple(sorted(recipe.items())),
+        )
+
     def build(self) -> GroupTopology:
         """Reconstruct the live topology this spec describes."""
+        if self.generator is not None:
+            from repro.workloads.topologies import build_generator
+
+            return build_generator(dict(self.generator))
         return topology_from_indices(
             self.process_count, {name: list(members) for name, members in self.groups}
         )
 
     def to_json(self) -> Dict[str, Any]:
+        if self.generator is not None:
+            return {
+                "process_count": self.process_count,
+                "generator": dict(self.generator),
+            }
         return {
             "process_count": self.process_count,
             "groups": {name: list(members) for name, members in self.groups},
@@ -86,6 +129,12 @@ class TopologySpec:
 
     @classmethod
     def from_json(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        if "generator" in data:
+            return cls(
+                process_count=int(data["process_count"]),
+                groups=(),
+                generator=tuple(sorted(data["generator"].items())),
+            )
         return cls(
             process_count=int(data["process_count"]),
             groups=tuple(

@@ -7,15 +7,25 @@ benchmarks:
 * chains — intersecting but acyclic (``F = ∅``, §6.2's easy case);
 * disjoint groups — the embarrassingly parallel case of §2.3;
 * hub cliques — every group shares one process (many cyclic families);
-* random overlapping topologies, seeded and reproducible.
+* random overlapping topologies, seeded and reproducible;
+* sparse-overlap topologies — hundreds of mostly-disjoint groups with
+  occasional shared processes (the 100x-scale regime: intersection
+  graphs stay sparse, so the cycle sweeps in :mod:`repro.groups` remain
+  output-sensitive).
+
+Every generator is registered in :data:`GENERATORS` under a ``kind``
+name, so a :class:`repro.workloads.TopologySpec` can address a topology
+by *recipe* (``{"kind": "ring", "k": 200}``) instead of by expanded
+group map — see :func:`build_generator`.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
 from repro.groups.topology import GroupTopology, topology_from_indices
+from repro.model.errors import SimulationError
 
 
 def ring_topology(k: int) -> GroupTopology:
@@ -96,3 +106,80 @@ def random_topology(
             continue  # groups are a *set* of process sets
         groups[f"g{len(groups) + 1}"] = members
     return topology_from_indices(process_count, groups)
+
+
+def sparse_overlap_topology(
+    k: int,
+    group_size: int = 3,
+    overlap_fraction: float = 0.25,
+    seed: int = 0,
+) -> GroupTopology:
+    """``k`` mostly-disjoint groups with seeded sparse overlaps.
+
+    Consecutive groups share one process with probability
+    ``overlap_fraction`` (seeded, reproducible); all other pairs are
+    disjoint.  The intersection graph is a disjoint union of short
+    paths — no cyclic families, maximum degree 2 — which is the regime
+    where hundreds of groups stay tractable: cycle enumeration is
+    output-sensitive and the output here is empty.
+    """
+    if k < 1:
+        raise ValueError("need at least one group")
+    if group_size < 2:
+        raise ValueError("overlapping groups need at least 2 members")
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    groups: Dict[str, List[int]] = {}
+    next_proc = 1
+    prev_last = None
+    for i in range(1, k + 1):
+        if prev_last is not None and rng.random() < overlap_fraction:
+            members = [prev_last] + list(
+                range(next_proc, next_proc + group_size - 1)
+            )
+            next_proc += group_size - 1
+        else:
+            members = list(range(next_proc, next_proc + group_size))
+            next_proc += group_size
+        groups[f"g{i}"] = members
+        prev_last = members[-1]
+    return topology_from_indices(next_proc - 1, groups)
+
+
+#: The generator registry: ``kind`` name -> topology factory.  Factories
+#: take only JSON-scalar keyword parameters so a recipe round-trips
+#: through :class:`repro.workloads.TopologySpec` JSON unchanged.
+GENERATORS: Dict[str, Callable[..., GroupTopology]] = {
+    "ring": ring_topology,
+    "chain": chain_topology,
+    "disjoint": disjoint_topology,
+    "hub": hub_topology,
+    "random": random_topology,
+    "sparse_overlap": sparse_overlap_topology,
+}
+
+
+def build_generator(recipe: Mapping[str, Any]) -> GroupTopology:
+    """Build the topology a generator recipe describes.
+
+    ``recipe`` is a mapping with a ``kind`` key naming a registered
+    generator plus that generator's keyword parameters, e.g.
+    ``{"kind": "ring", "k": 200}``.
+    """
+    if "kind" not in recipe:
+        raise SimulationError("generator recipe needs a 'kind' key")
+    kind = recipe["kind"]
+    factory = GENERATORS.get(kind)
+    if factory is None:
+        raise SimulationError(
+            f"unknown topology generator {kind!r}; "
+            f"registered: {sorted(GENERATORS)}"
+        )
+    params = {key: value for key, value in recipe.items() if key != "kind"}
+    try:
+        return factory(**params)
+    except TypeError as exc:
+        raise SimulationError(
+            f"bad parameters for generator {kind!r}: {exc}"
+        ) from exc

@@ -87,7 +87,7 @@ class _Drain:
     def parked(self, t):
         return not self.buffer.has_pending(self.p)
 
-    def fire(self, t, budget=None):
+    def fire(self, t, budget=None, parked=None):
         fired = 0
         datagram = self.buffer.receive(self.p)
         while datagram is not None:

@@ -1,0 +1,115 @@
+"""The certificate/output-sensitive cycle algorithms vs brute force.
+
+``has_hamiltonian_cycle`` and ``cycle_vertex_sets`` replaced the
+exponential subset sweep so 200-group topologies construct; this module
+pins their correctness against tiny, obviously-correct references —
+permutation search for hamiltonicity, an induced-subgraph sweep for
+cycle vertex sets — across every labelled graph shape up to 6 vertices
+that a seeded sample can reach, plus the structured shapes (cycles,
+paths, cliques, stars) whose certificates short-circuit the search.
+
+The graph functions are vertex-generic (any sortable hashable vertex
+works); plain ints keep the references readable.
+"""
+
+from itertools import combinations, permutations
+import random
+
+import pytest
+
+from repro.groups.families import cycle_vertex_sets, has_hamiltonian_cycle
+from repro.model.errors import TopologyError
+
+
+def _adjacency(n, edges):
+    adjacency = {v: set() for v in range(n)}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return adjacency
+
+
+def _brute_hamiltonian(adjacency):
+    vertices = sorted(adjacency)
+    if len(vertices) < 3:
+        return False
+    first, rest = vertices[0], vertices[1:]
+    for order in permutations(rest):
+        cycle = (first,) + order
+        if all(
+            cycle[(i + 1) % len(cycle)] in adjacency[cycle[i]]
+            for i in range(len(cycle))
+        ):
+            return True
+    return False
+
+
+def _brute_cycle_sets(adjacency):
+    # A vertex set is a cycle's iff its induced subgraph is hamiltonian.
+    found = set()
+    for size in range(3, len(adjacency) + 1):
+        for subset in combinations(sorted(adjacency), size):
+            induced = {
+                v: adjacency[v] & set(subset) for v in subset
+            }
+            if _brute_hamiltonian(induced):
+                found.add(frozenset(subset))
+    return found
+
+
+def _random_graphs():
+    rng = random.Random(2022)
+    graphs = []
+    for n in range(3, 7):
+        all_edges = list(combinations(range(n), 2))
+        for _ in range(12):
+            count = rng.randint(0, len(all_edges))
+            graphs.append(_adjacency(n, rng.sample(all_edges, count)))
+    return graphs
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("adjacency", _random_graphs())
+    def test_hamiltonicity_matches_permutation_search(self, adjacency):
+        assert has_hamiltonian_cycle(adjacency) == _brute_hamiltonian(adjacency)
+
+    @pytest.mark.parametrize("adjacency", _random_graphs())
+    def test_cycle_sets_match_induced_subgraph_sweep(self, adjacency):
+        assert cycle_vertex_sets(adjacency) == _brute_cycle_sets(adjacency)
+
+
+class TestCertificates:
+    def test_large_cycle_graph_is_hamiltonian_without_search(self):
+        n = 500
+        ring = _adjacency(n, [(i, (i + 1) % n) for i in range(n)])
+        assert has_hamiltonian_cycle(ring)
+        assert cycle_vertex_sets(ring) == {frozenset(range(n))}
+
+    def test_large_path_graph_has_no_cycles(self):
+        n = 500
+        path = _adjacency(n, [(i, i + 1) for i in range(n - 1)])
+        assert not has_hamiltonian_cycle(path)
+        assert cycle_vertex_sets(path) == set()
+
+    def test_large_clique_is_hamiltonian_without_search(self):
+        n = 60
+        clique = _adjacency(n, list(combinations(range(n), 2)))
+        assert has_hamiltonian_cycle(clique)
+
+    def test_star_graph_is_not_hamiltonian(self):
+        star = _adjacency(6, [(0, i) for i in range(1, 6)])
+        assert not has_hamiltonian_cycle(star)
+        assert cycle_vertex_sets(star) == set()
+
+    def test_two_disjoint_triangles_are_not_hamiltonian(self):
+        graph = _adjacency(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        assert not has_hamiltonian_cycle(graph)
+        assert cycle_vertex_sets(graph) == {
+            frozenset({0, 1, 2}),
+            frozenset({3, 4, 5}),
+        }
+
+    def test_dense_enumeration_respects_the_budget(self):
+        clique = _adjacency(30, list(combinations(range(30), 2)))
+        with pytest.raises(TopologyError, match="budget|steps"):
+            cycle_vertex_sets(clique, budget=10_000)

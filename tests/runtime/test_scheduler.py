@@ -32,7 +32,7 @@ class CountdownActor(Actor):
     def parked(self, t):
         return self.left <= 0
 
-    def fire(self, t, budget=None):
+    def fire(self, t, budget=None, parked=None):
         self.log.append((t, self.key))
         if self.left > 0:
             self.left -= 1

@@ -60,16 +60,11 @@ class TestSpecForm:
         assert records[0]["spec_hash"] == spec.spec_hash()
 
 
-class TestDeprecationShim:
-    def test_positional_tuning_warns_and_still_works(self):
+class TestLegacyPositionalRemoval:
+    def test_positional_tuning_raises_with_migration_hint(self):
         topo, pattern, sends = _fixture()
-        with pytest.warns(DeprecationWarning):
-            noisy = run_scenario(topo, pattern, sends, 2, "vanilla", 0, 0, 300)
-        quiet = run_scenario(
-            topo, pattern, sends, seed=2, variant="vanilla", max_rounds=300
-        )
-        assert noisy.rounds == quiet.rounds
-        assert noisy.spec == quiet.spec
+        with pytest.raises(TypeError, match="ScenarioSpec"):
+            run_scenario(topo, pattern, sends, 2, "vanilla", 0, 0, 300)
 
     def test_keyword_tuning_does_not_warn(self):
         topo, pattern, sends = _fixture()
@@ -77,18 +72,10 @@ class TestDeprecationShim:
             warnings.simplefilter("error", DeprecationWarning)
             run_scenario(topo, pattern, sends, seed=1, scheduling="event")
 
-    def test_duplicate_tuning_value_rejected(self):
+    def test_single_positional_extra_rejected(self):
         topo, pattern, sends = _fixture()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError):
-                run_scenario(topo, pattern, sends, 2, seed=3)
-
-    def test_too_many_positionals_rejected(self):
-        topo, pattern, sends = _fixture()
-        with pytest.raises(TypeError):
-            run_scenario(
-                topo, pattern, sends, 0, "vanilla", 0, 0, 600, "event", None, "extra"
-            )
+        with pytest.raises(TypeError, match="positional"):
+            run_scenario(topo, pattern, sends, 2, seed=3)
 
     def test_missing_scenario_arguments_rejected(self):
         topo, pattern, _ = _fixture()
