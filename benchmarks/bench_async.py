@@ -1,0 +1,166 @@
+"""Open-loop throughput benchmark for the ``async`` execution backend.
+
+Open-loop means the workload does not wait for the system: multicasts
+are injected at a fixed rate (``ARRIVALS_PER_ROUND`` per logical round)
+whether or not earlier messages have been delivered, which is the
+arrival discipline a system serving concurrent traffic actually faces.
+The benchmark drives the Figure 1 engine deployment (and a disjoint
+3x3 grid) through the :class:`repro.runtime.AsyncDriver` on the seeded
+virtual clock — so the *schedule* is deterministic and the measured
+quantity is pure driver+engine compute — and reports delivered
+messages per wall-second.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_async.py --out fresh-async.json
+    python benchmarks/perf_gate.py fresh-async.json --reference BENCH_async.json
+
+Without ``--out`` the run prints its table and exits.  The committed
+``BENCH_async.json`` (repo root) is the reference the perf gate holds
+fresh runs against; when re-baselining after an intentional perf
+change, rerun with ``--out BENCH_async.json`` in the same PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import MulticastSystem
+from repro.core.group_sequential import AtomicMulticast
+from repro.groups import paper_figure1_topology
+from repro.metrics import format_table
+from repro.model import failure_free
+from repro.props.batch import batch_verdicts, verdicts_ok
+from repro.runtime import AsyncDriver
+from repro.workloads import Send
+from repro.workloads.topologies import disjoint_topology
+
+#: Messages injected per logical round (the open-loop arrival rate) and
+#: total messages per cell.  Sized so one cell runs in roughly a second
+#: on the growth container — long enough to dominate setup, short
+#: enough for CI.
+ARRIVALS_PER_ROUND = 2
+MESSAGES = 120
+
+#: Delay models swept per topology (label -> spec).
+DELAY_MODELS = {
+    "uniform": ("uniform", 0.1, 0.9),
+    "exponential": ("exponential", 1.0, 8.0),
+}
+
+#: Throughput floor for the perf gate: a fresh run must reach this
+#: fraction of every committed cell.  Looser than the round-backend
+#: gate (0.9) because event-loop timing adds more run-to-run noise than
+#: the pure round loop does.
+FLOOR = 0.6
+
+
+def _open_loop_sends(topology) -> list:
+    """A round-robin open-loop script: every group keeps receiving."""
+    groups = sorted(topology.groups, key=lambda g: g.name)
+    sends = []
+    for i in range(MESSAGES):
+        group = groups[i % len(groups)]
+        sender = sorted(group.members)[i % len(group.members)]
+        sends.append(
+            Send(sender.index, group.name, at_round=1 + i // ARRIVALS_PER_ROUND)
+        )
+    return sends
+
+
+def run_cell(topology, delay_spec: tuple, seed: int = 0) -> dict:
+    """One (topology, delay model) cell: inject open-loop, run to
+    quiescence on the virtual clock, time the whole thing."""
+    system = MulticastSystem(
+        topology, failure_free(topology.processes), seed=seed
+    )
+    multicaster = AtomicMulticast(system)
+    driver = AsyncDriver(system, delay_model=delay_spec, seed=seed)
+    processes = sorted(topology.processes)
+
+    def issue(send, t):
+        multicaster.multicast(processes[send.sender - 1], send.group)
+
+    sends = _open_loop_sends(topology)
+    budget = 4 * (MESSAGES // ARRIVALS_PER_ROUND) + 200
+    start = time.perf_counter()
+    outcome = driver.run(sends=sends, issue=issue, max_rounds=budget)
+    elapsed = time.perf_counter() - start
+
+    deliveries = len(system.record.deliveries)
+    if not outcome.quiescent:
+        raise SystemExit("benchmark run did not quiesce — not a number")
+    if not verdicts_ok(batch_verdicts(system.record)):
+        raise SystemExit("benchmark run violated a property — not a number")
+    return {
+        "messages": MESSAGES,
+        "deliveries": deliveries,
+        "rounds": outcome.rounds,
+        "elapsed_sec": round(elapsed, 4),
+        "deliveries_per_sec": round(deliveries / elapsed, 1),
+    }
+
+
+def run_grid() -> dict:
+    cells = {}
+    detail = []
+    grid = (
+        ("async(figure1)", paper_figure1_topology()),
+        ("async(disjoint3x3)", disjoint_topology(3, group_size=3)),
+    )
+    for host, topology in grid:
+        for label, spec in DELAY_MODELS.items():
+            cell = run_cell(topology, spec)
+            cells[f"{host}/{label}"] = cell["deliveries_per_sec"]
+            detail.append(
+                (
+                    host,
+                    label,
+                    cell["deliveries"],
+                    cell["rounds"],
+                    f"{cell['elapsed_sec']:.2f}",
+                    f"{cell['deliveries_per_sec']:,.0f}",
+                )
+            )
+    print("Async open-loop throughput (virtual clock, deterministic):")
+    print(
+        format_table(
+            ("host", "delay", "deliveries", "rounds", "sec", "deliv/sec"),
+            detail,
+        )
+    )
+    return cells
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the gateable JSON export here (e.g. BENCH_async.json)",
+    )
+    args = parser.parse_args(argv)
+    cells = run_grid()
+    if args.out:
+        payload = {
+            "cells": cells,
+            "floor": FLOOR,
+            "metric": "deliveries_per_sec",
+            "source": (
+                "PYTHONPATH=src python benchmarks/bench_async.py --out "
+                "BENCH_async.json"
+            ),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,21 +1,34 @@
-"""Throughput regression gate for the runtime-scheduler smoke benchmark.
+"""Throughput regression gate for the committed benchmark references.
 
-Compares a fresh ``--benchmark-json`` export of
-``benchmarks/bench_runtime.py`` against the committed reference numbers
-in ``BENCH_runtime.json`` (repo root) and fails when any cell's
-``rounds_per_sec`` drops below ``floor`` (default 0.9) times its
-reference.  Usage::
+Compares a fresh benchmark export against committed reference numbers
+and fails when any cell drops below ``floor`` times its reference.  Two
+reference/export pairs are gated:
 
-    PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py \
-        -q --benchmark-json=runtime-bench.json
-    python benchmarks/perf_gate.py runtime-bench.json
+* the round backends — ``BENCH_runtime.json`` vs a fresh
+  ``--benchmark-json`` export of ``benchmarks/bench_runtime.py``
+  (``rounds_per_sec`` cells, 0.9 floor)::
 
-The committed reference was measured on the 1-core growth container; CI
-runners are at least as fast, so a cell under 0.9x there signals a real
-hot-path regression, not hardware drift.  When re-baselining after an
-intentional perf change, rerun the benchmark and copy the new
-``rounds_per_sec`` values into ``BENCH_runtime.json`` in the same PR
-(with a changelog entry saying why).
+      PYTHONPATH=src python -m pytest benchmarks/bench_runtime.py \
+          -q --benchmark-json=runtime-bench.json
+      python benchmarks/perf_gate.py runtime-bench.json
+
+* the async backend — ``BENCH_async.json`` vs a fresh run of the
+  open-loop ``benchmarks/bench_async.py`` (``deliveries_per_sec``
+  cells, looser floor — event-loop timing is noisier)::
+
+      PYTHONPATH=src python benchmarks/bench_async.py --out fresh-async.json
+      python benchmarks/perf_gate.py fresh-async.json \
+          --reference BENCH_async.json
+
+Both fresh formats are auto-detected: pytest-benchmark exports carry a
+``benchmarks`` list with per-bench ``extra_info``; ``bench_async.py``
+exports carry a flat ``cells`` map.
+
+The committed references were measured on the 1-core growth container;
+CI runners are at least as fast, so a cell under the floor there
+signals a real hot-path regression, not hardware drift.  When
+re-baselining after an intentional perf change, regenerate the
+reference file in the same PR (with a changelog entry saying why).
 
 Exit status: 0 when every cell clears the floor, 1 otherwise.
 """
@@ -29,9 +42,16 @@ import sys
 
 
 def load_cells(benchmark_json: str) -> dict:
-    """``host/mode -> rounds_per_sec`` from a pytest-benchmark export."""
+    """``cell name -> metric value`` from a fresh benchmark export.
+
+    Accepts either a pytest-benchmark ``--benchmark-json`` file (cells
+    are rebuilt from each bench's ``extra_info``) or a flat
+    ``{"cells": {...}}`` export like the ones ``bench_async.py`` writes.
+    """
     with open(benchmark_json, encoding="utf-8") as fh:
         data = json.load(fh)
+    if "cells" in data:
+        return {name: float(value) for name, value in data["cells"].items()}
     cells = {}
     for bench in data.get("benchmarks", []):
         extra = bench.get("extra_info", {})
@@ -66,6 +86,7 @@ def main(argv=None) -> int:
     with open(args.reference, encoding="utf-8") as fh:
         reference = json.load(fh)
     floor = args.floor if args.floor is not None else reference.get("floor", 0.9)
+    metric = reference.get("metric", "rounds_per_sec")
     fresh = load_cells(args.benchmark_json)
 
     failures = []
@@ -83,7 +104,7 @@ def main(argv=None) -> int:
             failures.append(name)
         print(
             f"  {name:<{width}}  {measured:>10,.1f} vs {ref_value:>10,.1f} "
-            f"rounds/sec  ({ratio:.2f}x)  {verdict}"
+            f"{metric}  ({ratio:.2f}x)  {verdict}"
         )
     if failures:
         print(f"perf gate FAILED: {', '.join(sorted(failures))}")

@@ -8,10 +8,13 @@ exit status is non-zero when any scenario failed or violated a checked
 property.
 
 ``--schedulings`` sweeps the engine's scan-vs-event axis, and
-``--backends`` adds the Appendix-A kernel backend.  The kernel backend
-requires pairwise-disjoint destination groups, so asking for it swaps
-the smoke cases for a disjoint grid (which every requested backend then
-shares, keeping rows comparable across the backend axis).
+``--backends`` adds the Appendix-A kernel backend and/or the
+real-asynchrony ``async`` backend.  The kernel backend requires
+pairwise-disjoint destination groups, so asking for a non-engine
+backend swaps the smoke cases for a disjoint grid (which every
+requested backend then shares, keeping rows comparable across the
+backend axis — including engine-vs-kernel-vs-async agreement cells).
+``--delay-model`` sweeps the async backend's channel-latency axis.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.campaign.executor import run_campaign
 from repro.campaign.grid import Campaign, case
 from repro.groups.topology import paper_figure1_topology
 from repro.metrics.sweep import sweep_table
+from repro.runtime.delay import parse_delay_model
 from repro.workloads.runner import Send
 from repro.workloads.topologies import (
     chain_topology,
@@ -37,15 +41,17 @@ def smoke_campaign(
     max_rounds: int = 600,
     schedulings: tuple = ("event",),
     backends: tuple = ("engine",),
+    delay_models: tuple = (None,),
 ) -> Campaign:
     """The default smoke grid: 4 cases x ``seeds`` x 2 variants.
 
-    With ``"kernel"`` among the backends the cases switch to disjoint
-    topologies (the kernel backend's requirement) with minority-per-group
-    crashes, and the variant axis collapses to ``"vanilla"`` — protocol
-    variants are an engine notion and would only duplicate kernel rows.
+    With ``"kernel"`` or ``"async"`` among the backends the cases switch
+    to disjoint topologies (the kernel backend's requirement, and the
+    one grid every backend can share) with minority-per-group crashes,
+    and the variant axis collapses to ``"vanilla"`` — those cells exist
+    for cross-backend agreement, not variant coverage.
     """
-    if "kernel" in backends:
+    if "kernel" in backends or "async" in backends:
         cases = (
             case(
                 "disjoint2x3",
@@ -110,6 +116,7 @@ def smoke_campaign(
         variants=variants,
         schedulings=tuple(schedulings),
         backends=tuple(backends),
+        delay_models=tuple(delay_models),
         max_rounds=max_rounds,
     )
 
@@ -171,8 +178,18 @@ def main(argv=None) -> int:
         default="engine",
         metavar="BACKENDS",
         help="comma-separated execution backends to sweep "
-        "('engine', 'kernel' or both; kernel switches the smoke grid to "
-        "disjoint topologies; default: engine)",
+        "('engine', 'kernel', 'async' or any mix; a non-engine backend "
+        "switches the smoke grid to disjoint topologies; default: engine)",
+    )
+    parser.add_argument(
+        "--delay-model",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="delay model for the async backend, e.g. 'uniform:0.1:0.9', "
+        "'exponential:1.0:8' or 'slow_pairs:4:1-2,2-1'; repeat the flag "
+        "to sweep several (only async cells expand over this axis; "
+        "default: the backend's uniform default)",
     )
     args = parser.parse_args(argv)
 
@@ -186,6 +203,11 @@ def main(argv=None) -> int:
             parser.error("--shard must look like K/N, e.g. 0/4")
         shard = (k, n)
 
+    delay_models = (
+        (None,)
+        if not args.delay_model
+        else tuple(parse_delay_model(text) for text in args.delay_model)
+    )
     campaign = smoke_campaign(
         seeds=args.seeds,
         schedulings=tuple(
@@ -194,6 +216,7 @@ def main(argv=None) -> int:
         backends=tuple(
             b.strip() for b in args.backends.split(",") if b.strip()
         ),
+        delay_models=delay_models,
     )
     report = run_campaign(
         campaign,

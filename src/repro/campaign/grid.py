@@ -22,8 +22,9 @@ from typing import Any, Dict, Optional, Sequence, Tuple, Union
 from repro.faults.plan import FaultPlan
 from repro.groups.topology import GroupTopology
 from repro.model.failures import FailurePattern, Time
+from repro.runtime.delay import canonical_delay_spec
 from repro.workloads.runner import Send
-from repro.workloads.spec import ScenarioSpec, TopologySpec
+from repro.workloads.spec import ScenarioSpec, TopologySpec, _delay_spec_to_json
 
 
 @dataclass(frozen=True)
@@ -82,7 +83,9 @@ class Campaign:
 
     The expansion order is the nested product, outermost to innermost:
     cases x seeds x variants x gamma_lags x indicator_lags x
-    schedulings x backends x event_drivens x faults.  Every expanded
+    schedulings x backends x event_drivens x faults x delay_models
+    (the delay axis collapses to a single entry on non-async
+    backends — see :meth:`_delay_axis`).  Every expanded
     spec gets a deterministic label of the form
     ``case:s<seed>:<variant>[:g<lag>][:i<lag>][:<scheduling>][:<backend>][:ed<0|1>][:f<hash6>]``
     (non-default axes only, keeping labels short on simple sweeps).
@@ -102,6 +105,10 @@ class Campaign:
             entries run fault-free, and the default single-``None``
             axis keeps pre-nemesis campaigns (and their hashes)
             unchanged.
+        delay_models: channel-latency specs to sweep on the ``async``
+            backend (see :mod:`repro.runtime.delay`); ``None`` entries
+            use the backend default, and the default single-``None``
+            axis keeps pre-v5 campaigns (and their hashes) unchanged.
         max_rounds: round budget shared by every scenario.
     """
 
@@ -115,6 +122,7 @@ class Campaign:
     backends: Tuple[str, ...] = ("engine",)
     event_drivens: Tuple[Optional[bool], ...] = (None,)
     faults: Tuple[Optional[FaultPlan], ...] = (None,)
+    delay_models: Tuple[Optional[Tuple[Any, ...]], ...] = (None,)
     max_rounds: int = 600
 
     def __post_init__(self) -> None:
@@ -129,9 +137,20 @@ class Campaign:
             "backends",
             "event_drivens",
             "faults",
+            "delay_models",
         ):
             if not getattr(self, axis):
                 raise ValueError(f"campaign axis {axis!r} must be non-empty")
+        # Canonicalize eagerly so two spellings of one model share a
+        # campaign hash (and a malformed spec fails at build time).
+        object.__setattr__(
+            self,
+            "delay_models",
+            tuple(
+                None if dm is None else canonical_delay_spec(dm)
+                for dm in self.delay_models
+            ),
+        )
 
     def specs(self) -> Tuple[ScenarioSpec, ...]:
         """Expand the grid into frozen scenario specs, in grid order."""
@@ -145,34 +164,53 @@ class Campaign:
                                 for backend in self.backends:
                                     for event_driven in self.event_drivens:
                                         for plan in self.faults:
-                                            expanded.append(
-                                                ScenarioSpec(
-                                                    topology=kase.topology,
-                                                    crashes=kase.crashes,
-                                                    sends=kase.sends,
-                                                    seed=seed,
-                                                    variant=variant,
-                                                    gamma_lag=gamma_lag,
-                                                    indicator_lag=indicator_lag,
-                                                    max_rounds=self.max_rounds,
-                                                    scheduling=scheduling,
-                                                    backend=backend,
-                                                    event_driven=event_driven,
-                                                    faults=plan,
-                                                    name=self._label(
-                                                        kase.label,
-                                                        seed,
-                                                        variant,
-                                                        gamma_lag,
-                                                        indicator_lag,
-                                                        scheduling,
-                                                        backend,
-                                                        event_driven,
-                                                        plan,
-                                                    ),
+                                            for dm in self._delay_axis(
+                                                backend
+                                            ):
+                                                expanded.append(
+                                                    ScenarioSpec(
+                                                        topology=kase.topology,
+                                                        crashes=kase.crashes,
+                                                        sends=kase.sends,
+                                                        seed=seed,
+                                                        variant=variant,
+                                                        gamma_lag=gamma_lag,
+                                                        indicator_lag=indicator_lag,
+                                                        max_rounds=self.max_rounds,
+                                                        scheduling=scheduling,
+                                                        backend=backend,
+                                                        event_driven=event_driven,
+                                                        faults=plan,
+                                                        delay_model=dm,
+                                                        name=self._label(
+                                                            kase.label,
+                                                            seed,
+                                                            variant,
+                                                            gamma_lag,
+                                                            indicator_lag,
+                                                            scheduling,
+                                                            backend,
+                                                            event_driven,
+                                                            plan,
+                                                            dm,
+                                                        ),
+                                                    )
                                                 )
-                                            )
         return tuple(expanded)
+
+    def _delay_axis(
+        self, backend: str
+    ) -> Tuple[Optional[Tuple[Any, ...]], ...]:
+        """The delay axis a backend actually sweeps.
+
+        Only the async backend consumes a delay model; expanding the
+        round backends over the axis would mint distinct cache cells
+        for byte-identical runs, so they collapse to the single default
+        entry.
+        """
+        if backend == "async":
+            return self.delay_models
+        return (None,)
 
     def _label(
         self,
@@ -185,6 +223,7 @@ class Campaign:
         backend: str,
         event_driven: Optional[bool],
         plan: Optional[FaultPlan] = None,
+        delay_model: Optional[Tuple[Any, ...]] = None,
     ) -> str:
         parts = [base, f"s{seed}", variant]
         if len(self.gamma_lags) > 1 or gamma_lag:
@@ -201,20 +240,29 @@ class Campaign:
             parts.append(f"f{plan.plan_hash()[:6]}")
         elif len(self.faults) > 1:
             parts.append("f-none")
+        if delay_model is not None:
+            parts.append(f"d-{delay_model[0]}")
+        elif backend == "async" and len(self.delay_models) > 1:
+            parts.append("d-default")
         return ":".join(parts)
 
     def to_json(self) -> Dict[str, Any]:
         """The campaign as a JSON-ready dict (manifest material).
 
-        The ``faults`` axis is emitted only when it departs from the
-        fault-free default, so pre-nemesis campaigns keep the manifest
-        layout — and the :meth:`campaign_hash` — they always had.
+        The ``faults`` and ``delay_models`` axes are emitted only when
+        they depart from their single-``None`` defaults, so earlier
+        campaigns keep the manifest layout — and the
+        :meth:`campaign_hash` — they always had.
         """
         body = self._base_json()
         if self.faults != (None,):
             body["faults"] = [
                 None if plan is None else plan.to_json()
                 for plan in self.faults
+            ]
+        if self.delay_models != (None,):
+            body["delay_models"] = [
+                _delay_spec_to_json(dm) for dm in self.delay_models
             ]
         return body
 

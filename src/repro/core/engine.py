@@ -100,6 +100,7 @@ class MulticastSystem:
         isolation: bool = False,
         scheduling: str = "event",
         injector: Optional[Any] = None,
+        gamma_scope: str = "group",
     ) -> None:
         if pattern.processes != topology.processes:
             raise SimulationError("pattern and topology disagree on processes")
@@ -128,6 +129,11 @@ class MulticastSystem:
         #: Processes whose wait condition may have changed since their
         #: last clean (zero-fired) scan.  Starts as everyone.
         self._dirty: Set[ProcessId] = set(topology.processes)
+        #: Optional observer of wake events, called with the processes
+        #: just dirtied.  The async driver installs itself here to route
+        #: wakes through latency-modelled channels; ``None`` (round
+        #: execution) keeps the wake path untouched.
+        self.wake_listener: Optional[Callable[[FrozenSet[ProcessId]], None]] = None
         self.space = ObjectSpace(
             self._charge,
             guard=self.quorum_ok,
@@ -135,11 +141,15 @@ class MulticastSystem:
             consensus_gate=self.consensus_ok,
             on_write=self._on_object_write,
         )
+        # ``gamma_scope="process"`` replays the pre-fix per-process
+        # partner/consensus scoping; only the frozen golden runtime
+        # suite should ask for it (see Mu.gamma_scope).
         self.mu = Mu(
             pattern,
             topology,
             gamma_lag=gamma_lag,
             omega_stabilization=omega_stabilization,
+            gamma_scope=gamma_scope,
         )
         self.indicators: Dict[FrozenSet[ProcessId], IndicatorOracle] = {}
         if variant == "strict":
@@ -258,11 +268,16 @@ class MulticastSystem:
 
     def _on_object_write(self, name: str) -> None:
         """A shared object mutated: wake its readers (everyone if unknown)."""
-        self._dirty |= self._wake_index.get(name, self.topology.processes)
+        woken = self._wake_index.get(name, self.topology.processes)
+        self._dirty |= woken
+        if self.wake_listener is not None:
+            self.wake_listener(woken)
 
     def wake_all(self) -> None:
         """Force every process through the next action scan."""
         self._dirty = set(self.topology.processes)
+        if self.wake_listener is not None:
+            self.wake_listener(self.topology.processes)
 
     def _charge(self, p: ProcessId, reason: str) -> None:
         self.record.note_step(self.time, p, received=reason)
@@ -351,6 +366,8 @@ class MulticastSystem:
         # The sender must retry its line-7 append even when the append is
         # deferred on a quorum (no object write happens in that case).
         self._dirty.add(src)
+        if self.wake_listener is not None:
+            self.wake_listener((src,))
         self.processes[src].multicast(message)
         return message
 

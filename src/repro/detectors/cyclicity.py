@@ -67,6 +67,7 @@ class GammaOracle(OracleDetector):
             }
         )
         self._samples: Dict[Tuple[ProcessId, int], FrozenSet[GroupFamily]] = {}
+        self._group_samples: Dict[Tuple[Group, int], FrozenSet[GroupFamily]] = {}
 
     def epoch(self, t: Time) -> int:
         """The exclusion-state epoch of time ``t``.
@@ -93,6 +94,33 @@ class GammaOracle(OracleDetector):
                 if not self._excluded(family, t)
             )
             self._samples[key] = sample
+        return sample
+
+    def trusted_families_of_group(
+        self, g: Group, t: Time
+    ) -> FrozenSet[GroupFamily]:
+        """The families of ``F(g)`` not (yet) detected as faulty.
+
+        A *group-uniform* view: unlike :meth:`query`, the answer does not
+        depend on which member asks.  Algorithm 1's commit gate needs
+        this uniformity — a member of ``g`` that carries no intersection
+        of a live family ``f ∋ g`` (so ``f ∉ F(p)``) would otherwise see
+        an empty partner set and propose an ordering position before the
+        carriers of ``f`` have written their ``(m, h, ·)`` records,
+        poisoning ``CONS_m`` with a stale value (the ROADMAP item 6
+        termination gap).  The oracle's exclusion state is the same one
+        :meth:`query` consults, so Accuracy and Completeness carry over
+        family-by-family.
+        """
+        key = (g, self.epoch(t))
+        sample = self._group_samples.get(key)
+        if sample is None:
+            sample = frozenset(
+                family
+                for family in self.topology.families_of_group(g)
+                if not self._excluded(family, t)
+            )
+            self._group_samples[key] = sample
         return sample
 
 

@@ -44,10 +44,22 @@ class Mu(FailureDetector):
         topology: GroupTopology,
         gamma_lag: Time = 0,
         omega_stabilization: Optional[Time] = None,
+        gamma_scope: str = "group",
     ) -> None:
         super().__init__()
+        if gamma_scope not in ("group", "process"):
+            raise DetectorError(f"unknown gamma_scope {gamma_scope!r}")
         self.pattern = pattern
         self.topology = topology
+        #: How ``gamma(g)`` partner sets (and Algorithm 1's consensus
+        #: family keys) are scoped.  ``"group"`` — the default, and the
+        #: correct wiring — derives them uniformly from ``F(g)``, so all
+        #: members of ``g`` gate commit on the same partners and share
+        #: one ``CONS_{m,f}`` instance.  ``"process"`` reproduces the
+        #: pre-fix §3-literal ``F(p)`` scoping, kept only so the golden
+        #: runtime suite can replay its frozen pre-fix traces (see
+        #: ROADMAP item 6 and tests/runtime/_scenarios.py).
+        self.gamma_scope = gamma_scope
         self._sigmas: Dict[FrozenSet[ProcessId], SigmaOracle] = {}
         self._omegas: Dict[Group, OmegaOracle] = {}
         for g in topology.groups:
@@ -66,9 +78,9 @@ class Mu(FailureDetector):
         # ``gamma(g)`` partner sets are constant within one gamma
         # exclusion epoch; Algorithm 1 recomputes them on every commit /
         # stable scan, so this cache carries the engine's hottest path.
-        self._partner_cache: Dict[
-            Tuple[ProcessId, Group, int], Tuple[Group, ...]
-        ] = {}
+        # Keyed by (g, epoch) under group scoping, (p, g, epoch) under
+        # the legacy process scoping.
+        self._partner_cache: Dict[tuple, Tuple[Group, ...]] = {}
 
     # -- Component accessors (the API Algorithm 1 consumes) ---------------
 
@@ -120,11 +132,31 @@ class Mu(FailureDetector):
         )
 
     def gamma_partners(self, p: ProcessId, t: Time, g: Group) -> Tuple[Group, ...]:
-        """``gamma(g)`` as seen by ``p`` at ``t`` (§3 derived notation)."""
-        key = (p, g, self._gamma.epoch(t))
+        """``gamma(g)`` at ``t`` (§3 derived notation), group-uniform.
+
+        Derived from the oracle's exclusion state over ``F(g)`` rather
+        than from ``p``'s own sample over ``F(p)``: every member of ``g``
+        must gate commit/stabilize on the *same* partner set, or a
+        member carrying no intersection of a live family of ``g`` sees
+        no partners, commits early, and decides a stale ordering
+        position for everyone (ROADMAP item 6).  ``p`` stays in the
+        signature for API stability; under the default ``"group"`` scope
+        the answer no longer depends on it (``gamma_scope="process"``
+        replays the legacy per-process view for the golden suite).
+        """
+        if self.gamma_scope == "process":
+            key: tuple = (p, g, self._gamma.epoch(t))
+            partners = self._partner_cache.get(key)
+            if partners is None:
+                partners = gamma_groups(self._gamma.query(p, t), g)
+                self._partner_cache[key] = partners
+            return partners
+        key = (g, self._gamma.epoch(t))
         partners = self._partner_cache.get(key)
         if partners is None:
-            partners = gamma_groups(self._gamma.query(p, t), g)
+            partners = gamma_groups(
+                self._gamma.trusted_families_of_group(g, t), g
+            )
             self._partner_cache[key] = partners
         return partners
 

@@ -1,26 +1,60 @@
 """repro.runtime — the shared execution loop of every scenario family.
 
-One :class:`Scheduler` owns the per-round contract (clock, alive ∩
-participation filtering, seeded shuffle, dispatch, tracer accounting,
-settle-horizon-aware quiescence); hosts adapt their execution units to
-the :class:`Actor` protocol via the adapters in
+One :class:`ExecutionCore` owns the transport/clock-agnostic semantics
+(actor registry, alive ∩ participation filtering, settle-horizon and
+quiescence accounting, tracer/injector hooks); two drivers execute it:
+the round-based :class:`Scheduler` (a.k.a. :class:`RoundDriver`, the
+lockstep loop with the seeded shuffle) and the :class:`AsyncDriver`
+(asyncio tasks over latency-modelled in-memory channels, with a seeded
+:class:`VirtualClock` for deterministic replay).  Hosts adapt their
+execution units to the :class:`Actor` protocol via the adapters in
 :mod:`repro.runtime.actors`.
 """
 
 from repro.runtime.actors import AutomatonActor, SharedObjectActor, SystemActor
+from repro.runtime.async_driver import CLOCK_MODES, AsyncDriver, AsyncTransport
+from repro.runtime.clock import VirtualClock
+from repro.runtime.core import ExecutionCore
+from repro.runtime.delay import (
+    DELAY_MODEL_KINDS,
+    DelayModel,
+    ExponentialDelay,
+    FixedDelay,
+    SlowPairsDelay,
+    UniformDelay,
+    build_delay_model,
+    canonical_delay_spec,
+    parse_delay_model,
+)
 from repro.runtime.scheduler import (
     SCHEDULING_MODES,
     Actor,
+    RoundDriver,
     RunOutcome,
     Scheduler,
 )
 
 __all__ = [
     "Actor",
+    "AsyncDriver",
+    "AsyncTransport",
     "AutomatonActor",
+    "CLOCK_MODES",
+    "DELAY_MODEL_KINDS",
+    "DelayModel",
+    "ExecutionCore",
+    "ExponentialDelay",
+    "FixedDelay",
+    "RoundDriver",
     "RunOutcome",
     "Scheduler",
     "SCHEDULING_MODES",
     "SharedObjectActor",
+    "SlowPairsDelay",
     "SystemActor",
+    "UniformDelay",
+    "VirtualClock",
+    "build_delay_model",
+    "canonical_delay_spec",
+    "parse_delay_model",
 ]

@@ -1,4 +1,4 @@
-"""The shared round scheduler — the one hot loop of the reproduction.
+"""The round driver — the lockstep loop of every golden-pinned run.
 
 Before this layer existed the repo ran the paper's constructions on two
 parallel-evolved loops: the round-based shared-object engine
@@ -12,6 +12,15 @@ semantics.  The :class:`Scheduler` owns that contract once, in the
 spirit of the single linearized-action model the paper reasons on
 (§4.4): a run is a sequence of atomic actions under an adversarially
 shuffled yet reproducible schedule.
+
+Since the ``backend="async"`` refactor the schedule-independent half of
+that contract — the actor registry, the alive ∩ participation filter,
+responder/quorum accounting, quiescence inputs — lives in
+:class:`repro.runtime.core.ExecutionCore`; this module keeps what is
+genuinely *round-shaped*: the +1 logical clock, the one-shuffle-per-
+round RNG discipline, the full-scan forcing rules and the lockstep
+quiescence loop.  :class:`repro.runtime.async_driver.AsyncDriver` runs
+the same core (and the same actors) under real or virtual time instead.
 
 Hosts adapt their unit of execution to the small :class:`Actor`
 protocol (see :mod:`repro.runtime.actors`) and keep their public APIs as
@@ -37,69 +46,23 @@ thin delegations.  Two invariants make that safe:
 from __future__ import annotations
 
 import random
-from bisect import bisect_right
 from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
-    Dict,
     FrozenSet,
     Iterable,
     Mapping,
     Optional,
-    Tuple,
-    TypeVar,
 )
 
 from repro.metrics.trace import TraceRecorder
 from repro.model.errors import SimulationError
 from repro.model.failures import Time
+from repro.runtime.core import Actor, ExecutionCore, Key
 
 #: Supported scheduling modes (also re-exported by repro.core.engine).
 SCHEDULING_MODES = ("event", "scan")
-
-#: Sortable actor key — a ProcessId for per-process hosts, a string for
-#: whole-system hosts (baselines, emulation drivers).
-Key = TypeVar("Key")
-
-
-class Actor:
-    """One schedulable unit: a process, or a whole subsystem.
-
-    Adapters implement three verbs:
-
-    * :meth:`parked` — whether skipping this actor in a non-full-scan
-      round is provably a no-op.  The scheduler consults it *after* the
-      shuffle, so parking never changes the RNG stream.
-    * :meth:`fire` — take the actor's step(s); returns the number of
-      *productive* actions (0 = the step provably changed nothing),
-      which feeds both the tracer and quiescence detection.  The
-      scheduler passes ``parked=False`` when its own skip check already
-      proved the actor un-parked this round, so adapters whose
-      productivity test *is* the parked test need not recompute it.
-    * :meth:`wait_reasons` — why a scanned-but-idle actor is blocked
-      (histogrammed into the round trace).
-
-    ``SKIP_WAIT`` names the wait reasons recorded when the actor is
-    skipped while parked (the kernel counts those as ``idle``; the
-    engine records nothing).
-    """
-
-    SKIP_WAIT: Tuple[str, ...] = ()
-
-    def parked(self, t: Time) -> bool:
-        return False
-
-    def fire(
-        self,
-        t: Time,
-        budget: Optional[int] = None,
-        parked: Optional[bool] = None,
-    ) -> int:
-        raise NotImplementedError
-
-    def wait_reasons(self) -> Iterable[str]:
-        return ()
 
 
 @dataclass(frozen=True)
@@ -120,12 +83,12 @@ class RunOutcome:
 
 
 class Scheduler:
-    """Owns the per-round contract shared by every execution loop.
+    """The round driver: lockstep rounds over an :class:`ExecutionCore`.
 
     Args:
         actors: the schedulable units, keyed by a sortable identity
             (``ProcessId`` for per-process hosts).
-        rng: the seeded schedule source; the scheduler is its only
+        rng: the seeded schedule source; the round driver is its only
             consumer.
         tracer: per-round counters (see :mod:`repro.metrics.trace`).
         is_alive: ``(key, t) -> bool`` — crash filtering; keys failing
@@ -178,47 +141,32 @@ class Scheduler:
     ) -> None:
         if scheduling not in SCHEDULING_MODES:
             raise SimulationError(f"unknown scheduling mode {scheduling!r}")
-        self._actors: Dict[Key, Actor] = dict(actors)
-        #: Keys in sorted order, fixed at construction: iterating this
-        #: (filtered) yields the eligible set already sorted, replacing
-        #: the per-round ``order.sort()`` of the seed loops with the
-        #: byte-identical result.
-        self._sorted_keys: Tuple[Key, ...] = tuple(sorted(self._actors))
+        self.core = ExecutionCore(
+            actors,
+            tracer,
+            is_alive,
+            settle_horizon=settle_horizon,
+            pre_round=pre_round,
+            responders=responders,
+            injector=injector,
+            pending_work=pending_work,
+            alive_instants=alive_instants,
+        )
         self._rng = rng
-        self.tracer = tracer
-        self._is_alive = is_alive
         self.scheduling = scheduling
-        self._settle_horizon = settle_horizon or (lambda: 0)
-        self._pre_round = pre_round
-        self._injector = injector
-        self._pending_work = pending_work
         self.time: Time = 0
         #: Whether the most recent :meth:`run` ended in quiescence; True
         #: before any run call — nothing has been cut short yet.
         self.last_run_quiescent: bool = True
-        #: Actors able to answer quorum requests *right now*: the alive
-        #: members of the last round's responder (or scheduled) set.
-        self.responders: FrozenSet[Key] = responders or frozenset()
-        #: Fingerprint of (scheduled set, responder set) of the last
-        #: round; a change forces a full scan (quorum availability).
-        #: Stored as the *sorted eligible list* plus the responder set —
-        #: sorted-list equality is set equality without per-round
-        #: hashing.
-        self._fp_eligible: Optional[Tuple[Key, ...]] = None
-        self._fp_responders: Optional[FrozenSet[Key]] = None
-        #: Cache of the default (participation-derived) responder set, so
-        #: steady-state rounds reuse one frozenset instead of rebuilding
-        #: an identical one every round.
-        self._default_eligible: Optional[Tuple[Key, ...]] = None
-        self._default_responders: Optional[FrozenSet[Key]] = None
-        #: Alive-filter memo: the filtered key list is a pure function of
-        #: the crash epoch, so between crash instants the previous
-        #: round's result is reused verbatim.
-        self._alive_instants = (
-            None if alive_instants is None else sorted(alive_instants)
-        )
-        self._alive_epoch: Optional[int] = None
-        self._alive_order: Tuple[Key, ...] = ()
+
+    @property
+    def tracer(self) -> TraceRecorder:
+        return self.core.tracer
+
+    @property
+    def responders(self) -> FrozenSet[Key]:
+        """Actors able to answer quorum requests right now."""
+        return self.core.responders
 
     # -- One round ---------------------------------------------------------
 
@@ -239,97 +187,48 @@ class Scheduler:
         actions fired across the system.
         """
         self.time += 1
-        if self._pre_round is not None:
-            self._pre_round(self.time)
-        is_alive, now = self._is_alive, self.time
-        if participation is None:
-            if self._alive_instants is not None:
-                epoch = bisect_right(self._alive_instants, now)
-                if epoch != self._alive_epoch:
-                    self._alive_epoch = epoch
-                    self._alive_order = tuple(
-                        key
-                        for key in self._sorted_keys
-                        if is_alive(key, now)
-                    )
-                order = list(self._alive_order)
-            else:
-                order = [
-                    key for key in self._sorted_keys if is_alive(key, now)
-                ]
-        else:
-            order = [
-                key
-                for key in self._sorted_keys
-                if is_alive(key, now) and key in participation
-            ]
-        if self._injector is not None:
-            # Participation churn: suppressed actors take no step this
-            # round and answer no quorum requests.  Filtered before the
-            # shuffle — only faulted runs ever reach this branch, so the
-            # fault-free RNG stream is untouched.
-            order = [
-                key
-                for key in order
-                if not self._injector.suppresses(key, self.time)
-            ]
+        core = self.core
+        if core.pre_round is not None:
+            core.pre_round(self.time)
+        order = core.eligible_order(self.time, participation)
         # ``order`` is already sorted (it filters the pre-sorted keys);
         # snapshot it before the shuffle for fingerprinting.
         eligible = tuple(order)
-        if responders is None:
-            if eligible == self._default_eligible:
-                self.responders = self._default_responders
-            else:
-                self.responders = frozenset(eligible)
-                self._default_eligible = eligible
-                self._default_responders = self.responders
-        else:
-            self.responders = frozenset(
-                key
-                for key in responders
-                if self._is_alive(key, self.time)
-                and (
-                    self._injector is None
-                    or not self._injector.suppresses(key, self.time)
-                )
-            )
+        core.refresh_responders(self.time, eligible, responders)
         self._rng.shuffle(order)
-        fingerprint_changed = eligible != self._fp_eligible or (
-            self.responders is not self._fp_responders
-            and self.responders != self._fp_responders
-        )
+        fingerprint_changed = core.note_fingerprint(eligible)
         full_scan = (
             self.scheduling == "scan"
-            or self.time <= self._settle_horizon()
+            or self.time <= core.settle_horizon()
             or fingerprint_changed
             or (action_budget is not None and action_budget <= 0)
         )
-        self._fp_eligible = eligible
-        self._fp_responders = self.responders
-        self.tracer.begin_round(self.time, len(order), full_scan)
+        tracer = core.tracer
+        tracer.begin_round(self.time, len(order), full_scan)
         fired = 0
         parked_hint = None if full_scan else False
+        actors = core.actors
         for key in order:
-            actor = self._actors[key]
+            actor = actors[key]
             if not full_scan and actor.parked(self.time):
-                self.tracer.note_skipped()
+                tracer.note_skipped()
                 for reason in actor.SKIP_WAIT:
-                    self.tracer.note_wait(reason)
+                    tracer.note_wait(reason)
                 continue
             count = actor.fire(self.time, action_budget, parked_hint)
             fired += count
-            self.tracer.note_scanned(count)
+            tracer.note_scanned(count)
             if count == 0:
                 for reason in actor.wait_reasons():
-                    self.tracer.note_wait(reason)
-        self.tracer.end_round()
+                    tracer.note_wait(reason)
+        tracer.end_round()
         return fired
 
     # -- Many rounds -------------------------------------------------------
 
     def settle_horizon(self) -> Time:
         """The host's detector-stabilization time (0 when none)."""
-        return self._settle_horizon()
+        return self.core.settle_horizon()
 
     def run(
         self,
@@ -358,14 +257,15 @@ class Scheduler:
         rounds = 0
         total_fired = 0
         quiescent = False
+        core = self.core
         while rounds < max_rounds:
             fired = self.round(participation)
             total_fired += fired
             rounds += 1
             if (
                 fired == 0
-                and self.time >= self._settle_horizon()
-                and (self._pending_work is None or not self._pending_work())
+                and self.time >= core.settle_horizon()
+                and not core.has_pending_work()
             ):
                 idle += 1
                 if idle >= quiescent_rounds and halt_on_quiescence:
@@ -379,3 +279,8 @@ class Scheduler:
             quiescent = idle >= quiescent_rounds
         self.last_run_quiescent = quiescent
         return RunOutcome(rounds=rounds, quiescent=quiescent, fired=total_fired)
+
+
+#: The round-based driver by its role name; :class:`Scheduler` is the
+#: historical alias every host constructs.
+RoundDriver = Scheduler

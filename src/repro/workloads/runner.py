@@ -19,11 +19,11 @@ and replayed (see :mod:`repro.campaign`).  The legacy form
 tuning parameters are strictly keyword-only; passing them positionally
 (deprecated for several releases) is now a :class:`TypeError`.
 
-Two *backends* execute a spec, both driven by the shared
-:class:`repro.runtime.Scheduler`:
+Three *backends* execute a spec:
 
 * ``backend="engine"`` (default) — the §4.4 shared-object
-  :class:`MulticastSystem`, Algorithm 1 proper;
+  :class:`MulticastSystem`, Algorithm 1 proper, on the round-based
+  :class:`repro.runtime.Scheduler`;
 * ``backend="kernel"`` — the Appendix-A step-level :class:`Kernel`
   running one :class:`repro.substrates.replicated_log.ReplicatedLogCluster`
   per destination group.  Groups must be pairwise disjoint (a shared
@@ -31,7 +31,15 @@ Two *backends* execute a spec, both driven by the shared
   each send becomes an ``append`` of the message id at the sender's
   replica, and the synthesized :class:`RunRecord` marks a delivery when
   a replica applies that id, so the same §2.2 property checkers judge
-  both backends.
+  both backends;
+* ``backend="async"`` (schema v5) — the same Algorithm 1 deployment,
+  but driven by the :class:`repro.runtime.async_driver.AsyncDriver`:
+  every process is an asyncio task, wakes travel through
+  latency-modelled in-memory channels (``spec.delay_model``), and time
+  is either a seeded virtual clock (``spec.clock="virtual"``, fully
+  replayable) or the real wall clock.  The run produces the same
+  :class:`RunRecord` shape, so delivery sets and property verdicts are
+  directly comparable with the round backends.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from repro.model.failures import FailurePattern, Time
 from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
+from repro.runtime.async_driver import AsyncDriver
 from repro.sim.kernel import Kernel
 from repro.substrates.replicated_log import ReplicatedLogCluster
 from repro.workloads.spec import ScenarioSpec
@@ -380,6 +389,10 @@ def _execute(
         return _execute_kernel(
             spec, topology, pattern, injector, trace_path=trace_path
         )
+    if spec.backend == "async":
+        return _execute_async(
+            spec, topology, pattern, injector, trace_path=trace_path
+        )
     system = MulticastSystem(
         topology,
         pattern,
@@ -602,6 +615,101 @@ def _execute_kernel(
         truncated=truncated,
         quiescent=quiescent,
         kernel=kernel,
+        injector=injector,
+    )
+
+
+def _execute_async(
+    spec: ScenarioSpec,
+    topology: GroupTopology,
+    pattern: FailurePattern,
+    injector: Optional[FaultInjector] = None,
+    trace_path: Optional[str] = None,
+) -> ScenarioResult:
+    """Run one spec on the real-asynchrony backend.
+
+    The deployment is exactly the engine backend's — the same
+    :class:`MulticastSystem` and :class:`AtomicMulticast` — but instead
+    of the lockstep round loop, an :class:`AsyncDriver` runs every
+    process as an asyncio task and routes shared-object wake-ups through
+    latency-modelled channels (``spec.delay_model``).  Each ``fire`` is
+    atomic under cooperative scheduling, so shared-object operations
+    stay linearizable and the run is an admissible run of the same
+    model; only the interleaving (and hence the round count) differs.
+    With ``spec.clock="virtual"`` the whole run is a pure function of
+    the spec and replays deterministically.
+    """
+    system = MulticastSystem(
+        topology,
+        pattern,
+        variant=spec.variant,
+        gamma_lag=spec.gamma_lag,
+        indicator_lag=spec.indicator_lag,
+        seed=spec.seed,
+        scheduling=spec.scheduling,
+        injector=injector,
+    )
+    multicaster = AtomicMulticast(system)
+    # Virtual runs finish instantly regardless of the round duration, so
+    # use the natural 1s = 1 round mapping; wall runs compress rounds to
+    # keep real elapsed time bounded (a 600-round budget ≈ 12s).
+    round_duration = 1.0 if spec.clock == "virtual" else 0.02
+    driver = AsyncDriver(
+        system,
+        delay_model=spec.delay_model,
+        round_duration=round_duration,
+        clock=spec.clock,
+        seed=spec.seed,
+    )
+    pending = sorted(spec.sends, key=lambda s: s.at_round)
+    messages: List[MulticastMessage] = []
+    skipped: List[Send] = []
+
+    def issue(send: Send, t: Time) -> None:
+        sender = _process(topology, send.sender)
+        if not pattern.is_alive(sender, t):
+            skipped.append(send)
+            return
+        messages.append(
+            multicaster.multicast(sender, send.group, send.payload)
+        )
+
+    outcome = driver.run(
+        sends=pending,
+        issue=issue,
+        max_rounds=spec.max_rounds,
+        quiescent_rounds=2,
+    )
+    unsent = list(pending[driver.sends_cursor :])
+    truncated = bool(unsent) or not outcome.quiescent
+    _audit_injector(injector, spec, system.time, pattern=pattern)
+    if trace_path is not None:
+        system.tracer.write_jsonl(
+            trace_path,
+            meta={
+                "topology": repr(topology),
+                "pattern": str(pattern),
+                "seed": spec.seed,
+                "variant": spec.variant,
+                "backend": "async",
+                "clock": spec.clock,
+                "delay_model": repr(driver.delay.spec()),
+                "spec_hash": spec.spec_hash(),
+                "sends": len(spec.sends),
+                "rounds": outcome.rounds,
+            },
+        )
+    return ScenarioResult(
+        record=system.record,
+        messages=messages,
+        system=system,
+        multicaster=multicaster,
+        rounds=outcome.rounds,
+        skipped_sends=skipped,
+        unsent_sends=unsent,
+        spec=spec,
+        truncated=truncated,
+        quiescent=outcome.quiescent,
         injector=injector,
     )
 

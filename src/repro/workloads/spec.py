@@ -38,14 +38,29 @@ from repro.model.processes import ProcessId, make_processes, pset
 #: the execution-backend axes (``backend``, ``event_driven``); version 3
 #: added the ``faults`` axis (a :class:`repro.faults.FaultPlan`);
 #: version 4 added the *generator* form of :class:`TopologySpec` (a
-#: topology addressed by recipe instead of by expanded group map).
-#: Older payloads load unchanged: v1–v3 topologies always carry the
-#: explicit ``groups`` map, which still round-trips byte-identically.
-SPEC_SCHEMA_VERSION = 4
+#: topology addressed by recipe instead of by expanded group map);
+#: version 5 added the asynchronous backend and its axes
+#: (``delay_model``, ``clock``).  Older payloads load unchanged: v1–v3
+#: topologies always carry the explicit ``groups`` map, which still
+#: round-trips byte-identically, and the v5 axes default to absent.
+SPEC_SCHEMA_VERSION = 5
 
 #: The execution backends a scenario can run on: the round-based
-#: shared-object engine of §4.4 or the step-level Appendix-A kernel.
-BACKENDS = ("engine", "kernel")
+#: shared-object engine of §4.4, the step-level Appendix-A kernel, or
+#: the real-time asynchronous driver over the engine's actors.
+BACKENDS = ("engine", "kernel", "async")
+
+#: Clock sources of the async backend (see repro.runtime.async_driver).
+CLOCKS = ("virtual", "wall")
+
+
+def _delay_spec_to_json(spec: Any) -> Any:
+    """Canonical delay tuple -> JSON-ready nested lists (None passes)."""
+    if spec is None:
+        return None
+    if isinstance(spec, (tuple, list)):
+        return [_delay_spec_to_json(item) for item in spec]
+    return spec
 
 
 @dataclass(frozen=True)
@@ -163,9 +178,20 @@ class ScenarioSpec:
         max_rounds: total round budget (script issuance + drain).
         scheduling: engine scheduling mode (``"event"`` or ``"scan"``).
         backend: which execution loop runs the scenario — ``"engine"``
-            (the §4.4 shared-object system, the default) or ``"kernel"``
+            (the §4.4 shared-object system, the default), ``"kernel"``
             (the Appendix-A step-level kernel driving one replicated log
-            per destination group; requires pairwise-disjoint groups).
+            per destination group; requires pairwise-disjoint groups) or
+            ``"async"`` (the same Algorithm 1 actors as asyncio tasks
+            under a wall- or virtual-clock delay model; schema v5).
+        delay_model: the async backend's channel-latency model as a
+            canonical spec tuple (see :mod:`repro.runtime.delay`), e.g.
+            ``("uniform", 0.1, 0.9)``.  ``None`` (the default) uses the
+            driver default and is excluded from :meth:`spec_hash`, so
+            pre-v5 scenario addresses are stable.  Ignored by the round
+            backends.
+        clock: the async backend's time source — ``"virtual"`` (seeded
+            deterministic, the default, excluded from the hash) or
+            ``"wall"`` (real time).  Ignored by the round backends.
         event_driven: kernel scheduling mode.  ``None`` (the default)
             derives it from ``scheduling`` (``"event"`` → ``True``), so
             a scan-vs-event sweep exercises both loops with one axis; an
@@ -192,12 +218,26 @@ class ScenarioSpec:
     backend: str = "engine"
     event_driven: Optional[bool] = None
     faults: Optional["FaultPlan"] = None
+    delay_model: Optional[Tuple[Any, ...]] = None
+    clock: str = "virtual"
     name: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise SimulationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.clock not in CLOCKS:
+            raise SimulationError(
+                f"unknown clock {self.clock!r}; expected one of {CLOCKS}"
+            )
+        if self.delay_model is not None:
+            from repro.runtime.delay import canonical_delay_spec
+
+            # Canonicalize eagerly (lists -> tuples, parameters checked)
+            # so equal scenarios compare equal after a JSON round trip.
+            object.__setattr__(
+                self, "delay_model", canonical_delay_spec(self.delay_model)
             )
 
     def kernel_event_driven(self) -> bool:
@@ -224,6 +264,8 @@ class ScenarioSpec:
         backend: str = "engine",
         event_driven: Optional[bool] = None,
         faults: Optional[FaultPlan] = None,
+        delay_model: Optional[Tuple[Any, ...]] = None,
+        clock: str = "virtual",
         name: str = "",
     ) -> "ScenarioSpec":
         """Extract a spec from the live objects a legacy call passes."""
@@ -242,6 +284,8 @@ class ScenarioSpec:
             backend=backend,
             event_driven=event_driven,
             faults=faults,
+            delay_model=delay_model,
+            clock=clock,
             name=name,
         )
 
@@ -285,6 +329,8 @@ class ScenarioSpec:
             "backend": self.backend,
             "event_driven": self.event_driven,
             "faults": None if self.faults is None else self.faults.to_json(),
+            "delay_model": _delay_spec_to_json(self.delay_model),
+            "clock": self.clock,
             "name": self.name,
         }
 
@@ -321,6 +367,11 @@ class ScenarioSpec:
                 if data.get("faults") is not None
                 else None
             ),
+            # Absent before schema version 5: round backends, no delay
+            # axis.  __post_init__ canonicalizes the JSON lists back
+            # into the tuple form.
+            delay_model=data.get("delay_model"),
+            clock=data.get("clock", "virtual"),
             name=data.get("name", ""),
         )
 
@@ -343,6 +394,12 @@ class ScenarioSpec:
             body.pop("event_driven", None)
         if self.faults is None:
             body.pop("faults", None)
+        # Schema-5 axes at their defaults are excluded for the same
+        # reason as the schema-2 backend: pre-v5 addresses must not move.
+        if self.delay_model is None:
+            body.pop("delay_model", None)
+        if self.clock == "virtual":
+            body.pop("clock", None)
         canonical = json.dumps(
             body, sort_keys=True, separators=(",", ":"), default=str
         )
