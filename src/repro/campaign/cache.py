@@ -40,8 +40,11 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from repro.workloads.runner import scenario_cache_key
 from repro.workloads.spec import ScenarioSpec
 
-#: Bumped on breaking changes to the cached-row layout.
-CACHE_SCHEMA_VERSION = 1
+#: Bumped on breaking changes to the cached-row layout.  Version 2 grew
+#: the row's ``trace`` section with the coverage signals the explorer
+#: fingerprints runs by (wait reasons, oracle query totals, the
+#: interleaving transition stream); version-1 entries miss and re-run.
+CACHE_SCHEMA_VERSION = 2
 
 
 class CampaignCache:

@@ -119,7 +119,9 @@ def shrink_demo(out: str = "") -> int:
         name="broadcast-baseline",
     )
     minimal, shrinker = shrink_plan(spec, harness="broadcast")
-    payload = repro_payload(spec, minimal, plan, harness="broadcast")
+    payload = repro_payload(
+        spec, minimal, plan, harness="broadcast", shrinker=shrinker
+    )
     print(
         f"shrink-demo: {len(plan)} events -> {len(minimal)} "
         f"({shrinker.evaluations} evaluations); "

@@ -23,14 +23,19 @@ This module sits above the workloads layer, so import it as
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.faults.injector import injector_for
 from repro.faults.plan import FaultPlan
 from repro.props.batch import batch_verdicts, variant_checks, verdicts_ok
-from repro.workloads.runner import run_scenario, triage_record
+from repro.workloads.runner import run_scenario, scenario_cache_key, triage_record
 from repro.workloads.spec import ScenarioSpec
+
+#: Bumped on breaking changes to the shrink-cache entry layout.
+SHRINK_CACHE_SCHEMA_VERSION = 1
 
 #: ``(spec-with-plan) -> True when the run still violates``.
 Predicate = Callable[[ScenarioSpec], bool]
@@ -122,6 +127,81 @@ def default_violates(spec: ScenarioSpec) -> bool:
     return harness_violates("scenario")(spec)
 
 
+class ShrinkCache:
+    """Persistent memo of ``(harness, cell) -> violates`` verdicts.
+
+    The shrinker's predicate is a pure function of the harness and the
+    campaign cell identity (spec hash, seed, backend, plan hash — the
+    same :func:`scenario_cache_key` the :class:`repro.campaign`
+    result cache keys on), so its verdicts survive across processes:
+    re-shrinking a re-found failure in a later explorer invocation is
+    O(cache hits) instead of O(runs).  Layout mirrors the campaign
+    cache (one JSON file per cell, two-level fan-out, atomic writes,
+    corruption = miss).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    def key_for(self, harness: str, spec: ScenarioSpec) -> str:
+        body = f"{harness}:{scenario_cache_key(spec)}"
+        return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+    def path_for(self, harness: str, spec: ScenarioSpec) -> str:
+        key = self.key_for(harness, spec)
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, harness: str, spec: ScenarioSpec) -> Optional[bool]:
+        """The stored verdict, or ``None`` to evaluate."""
+        try:
+            with open(self.path_for(harness, spec), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != SHRINK_CACHE_SCHEMA_VERSION
+            or not isinstance(entry.get("violates"), bool)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["violates"]
+
+    def put(self, harness: str, spec: ScenarioSpec, violates: bool) -> None:
+        path = self.path_for(harness, spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        body = {
+            "schema": SHRINK_CACHE_SCHEMA_VERSION,
+            "harness": harness,
+            "triage": triage_record(spec),
+            "violates": violates,
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(body, fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        self.stored += 1
+
+
+def ensure_shrink_cache(
+    cache: Optional[Union[str, "ShrinkCache"]],
+) -> Optional["ShrinkCache"]:
+    """Coerce a cache argument (directory path or instance) to a cache."""
+    if cache is None or isinstance(cache, ShrinkCache):
+        return cache
+    if isinstance(cache, str):
+        return ShrinkCache(cache)
+    raise TypeError(
+        f"cache must be a ShrinkCache or a directory path, got {cache!r}"
+    )
+
+
 class PlanShrinker:
     """ddmin over the events of a fault plan.
 
@@ -131,25 +211,64 @@ class PlanShrinker:
         violates: the failure predicate; defaults to
             :func:`default_violates`.  Must be deterministic — runs are,
             so any predicate built on :func:`run_scenario` qualifies.
+        cache: optional :class:`ShrinkCache` (or directory path) for
+            verdict persistence across invocations.  Only sound when
+            ``violates`` really is the named ``harness``'s predicate —
+            custom predicates should not share a cache directory with
+            harness runs.
+        harness: the cache namespace (and the predicate when
+            ``violates`` is not given).
 
     Attributes:
+        probes: ``_fails`` queries, counting every memo hit.
         evaluations: predicate calls actually executed (cache misses).
+        cache_hits: probes answered from the in-memory memo or the
+            persistent cache.
     """
 
     def __init__(
-        self, spec: ScenarioSpec, violates: Optional[Predicate] = None
+        self,
+        spec: ScenarioSpec,
+        violates: Optional[Predicate] = None,
+        cache: Optional[Union[str, "ShrinkCache"]] = None,
+        harness: str = "scenario",
     ) -> None:
         self.spec = spec
-        self.violates = violates or default_violates
+        self.harness = harness
+        self.violates = violates or harness_violates(harness)
+        self.probes = 0
         self.evaluations = 0
+        self.cache_hits = 0
         self._cache: Dict[str, bool] = {}
+        self._store = ensure_shrink_cache(cache)
 
     def _fails(self, plan: FaultPlan) -> bool:
+        self.probes += 1
         key = plan.plan_hash()
-        if key not in self._cache:
-            self.evaluations += 1
-            self._cache[key] = self.violates(self.spec.faulted(plan))
-        return self._cache[key]
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        candidate = self.spec.faulted(plan)
+        if self._store is not None:
+            stored = self._store.get(self.harness, candidate)
+            if stored is not None:
+                self.cache_hits += 1
+                self._cache[key] = stored
+                return stored
+        self.evaluations += 1
+        verdict = self.violates(candidate)
+        self._cache[key] = verdict
+        if self._store is not None:
+            self._store.put(self.harness, candidate, verdict)
+        return verdict
+
+    def stats(self) -> Dict[str, int]:
+        """The search's cost accounting (surfaced in repro payloads)."""
+        return {
+            "probes": self.probes,
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+        }
 
     def shrink(self, plan: FaultPlan) -> FaultPlan:
         """The smallest event subset of ``plan`` that still fails.
@@ -220,17 +339,21 @@ def shrink_plan(
     plan: Optional[FaultPlan] = None,
     violates: Optional[Predicate] = None,
     harness: str = "scenario",
+    cache: Optional[Union[str, ShrinkCache]] = None,
 ) -> Tuple[FaultPlan, PlanShrinker]:
     """Minimize ``plan`` (default: the spec's own) for ``spec``.
 
-    Returns the minimal failing plan and the shrinker (for its
-    evaluation count).  ``harness`` selects the failure predicate when
-    ``violates`` is not given.  Raises :class:`ValueError` when the
-    starting plan does not fail — there is nothing to shrink.
+    Returns the minimal failing plan and the shrinker (for its cost
+    stats).  ``harness`` selects the failure predicate when ``violates``
+    is not given; ``cache`` persists verdicts across invocations (see
+    :class:`ShrinkCache`).  Raises :class:`ValueError` when the starting
+    plan does not fail — there is nothing to shrink.
     """
     if plan is None:
         plan = spec.faults or FaultPlan()
-    shrinker = PlanShrinker(spec, violates or harness_violates(harness))
+    shrinker = PlanShrinker(
+        spec, violates, cache=cache, harness=harness
+    )
     return shrinker.shrink(plan), shrinker
 
 
@@ -242,11 +365,18 @@ def repro_payload(
     minimal: FaultPlan,
     original: FaultPlan,
     harness: str = "scenario",
+    shrinker: Optional[PlanShrinker] = None,
 ) -> Dict[str, Any]:
-    """The self-contained repro document for a minimized counterexample."""
+    """The self-contained repro document for a minimized counterexample.
+
+    When the ``shrinker`` that produced ``minimal`` is passed, the
+    payload carries its cost accounting under ``"shrink"`` — probes,
+    actual evaluations, cache hits and the event-count reduction ratio —
+    so a soak report shows what each repro cost to minimize.
+    """
     final = spec.faulted(None if minimal.is_empty() else minimal)
     outcome = run_harness(harness, final)
-    return {
+    payload = {
         "kind": "fault-repro",
         "harness": harness,
         "triage": triage_record(final),
@@ -257,6 +387,13 @@ def repro_payload(
         "truncated": outcome["truncated"],
         "spec": final.to_json(),
     }
+    if shrinker is not None:
+        stats = shrinker.stats()
+        stats["reduction"] = (
+            1.0 - len(minimal) / len(original) if len(original) else 0.0
+        )
+        payload["shrink"] = stats
+    return payload
 
 
 def write_repro(path: str, payload: Dict[str, Any]) -> None:

@@ -313,6 +313,10 @@ class AsyncDriver:
             self._sync_time(t)
             eligible = core.eligible_order(t)
             core.refresh_responders(t, tuple(eligible), None)
+            # Record participation transitions exactly like the round
+            # drivers do, so async runs carry the same interleaving
+            # fingerprint stream the explorer uses as coverage.
+            core.note_fingerprint(tuple(eligible))
             # Forced wakes: the async analogue of the round driver's
             # full-scan triggers — detector settle window, and crossings
             # of crash instants (quorum availability changed).

@@ -28,6 +28,7 @@ dispatch policy (full-scan forcing is a round-loop concept).
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_right
 from typing import (
     Any,
@@ -88,6 +89,29 @@ class Actor:
 
     def wait_reasons(self) -> Iterable[str]:
         return ()
+
+
+def transition_signature(
+    eligible: Iterable[Any], responders: Iterable[Any]
+) -> str:
+    """A compact, deterministic digest of one participation state.
+
+    The signature covers *which* actors may act and *which* can answer
+    quorum requests — the schedule-level state whose transitions
+    fingerprint an interleaving.  Keys are reduced to their sortable
+    identity (``ProcessId.index`` or the string key itself) so the
+    digest is stable across processes and runs.
+    """
+
+    def _ident(key: Any) -> str:
+        return str(getattr(key, "index", key))
+
+    body = (
+        ",".join(_ident(k) for k in eligible)
+        + "|"
+        + ",".join(sorted(_ident(k) for k in responders))
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:12]
 
 
 class ExecutionCore:
@@ -247,7 +271,15 @@ class ExecutionCore:
         )
         self._fp_eligible = eligible
         self._fp_responders = self.responders
+        if changed:
+            # Surface the transition to the tracer as a compact
+            # signature.  Digesting only on *changes* keeps the round
+            # loop cost-free in the steady state (transitions happen at
+            # crash epochs and churn windows, not every round).
+            self.tracer.note_transition(
+                transition_signature(eligible, self.responders)
+            )
         return changed
 
 
-__all__ = ["ExecutionCore", "Actor", "Key"]
+__all__ = ["ExecutionCore", "Actor", "Key", "transition_signature"]

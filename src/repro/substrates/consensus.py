@@ -70,10 +70,27 @@ class OmegaSigmaSampler(FailureDetector):
 
 
 class ConsensusAutomaton(Automaton):
-    """Per-process code of the leader-driven consensus."""
+    """Per-process code of the leader-driven consensus.
 
-    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+    ``supersede`` selects the proposer's reaction to a PROMISE carrying a
+    higher promised ballot mid-prepare: ``"abandon"`` (the default)
+    abandons the ballot and retries above the observed round;
+    ``"wait"`` replays the pre-fix behaviour — ignore the message and
+    keep waiting — which is a known liveness stall under late-Omega
+    leader rotation, retained as the ``"supersede-wait"`` scenario quirk
+    so the explorer has a real historical bug to rediscover.
+    """
+
+    def __init__(
+        self, pid: ProcessId, scope: ProcessSet, supersede: str = "abandon"
+    ) -> None:
+        if supersede not in ("abandon", "wait"):
+            raise ValueError(
+                f"unknown supersede policy {supersede!r}; "
+                "expected 'abandon' or 'wait'"
+            )
         self.pid = pid
+        self.supersede = supersede
         self.scope = sorted(scope)
         self.proposal: Any = None
         self.decision: Any = None
@@ -121,13 +138,15 @@ class ConsensusAutomaton(Automaton):
             if ballot == self._ballot and self._phase == "prepare":
                 if promised <= ballot:
                     self._promises[src] = (acc_ballot, acc_value)
-                else:
+                elif self.supersede == "abandon":
                     # Superseded mid-prepare: the acceptor has promised a
                     # higher ballot, so this quorum can never complete.
                     # Abandon the ballot and retry above the highest
                     # round observed — without this, a demoted-then-
                     # re-elected leader (an unstable Omega prefix) waits
-                    # forever on promises that cannot arrive.
+                    # forever on promises that cannot arrive.  The
+                    # ``"wait"`` policy does exactly that waiting: it is
+                    # the retained pre-fix stall (see class docstring).
                     self._ballot = (
                         max(self._ballot[0], promised[0]),
                         self.pid.index,

@@ -33,9 +33,12 @@ class ReplicatedLogAutomaton(Automaton):
     datagrams (``slot`` is prepended to every message body).
     """
 
-    def __init__(self, pid: ProcessId, scope: ProcessSet) -> None:
+    def __init__(
+        self, pid: ProcessId, scope: ProcessSet, supersede: str = "abandon"
+    ) -> None:
         self.pid = pid
         self.scope = sorted(scope)
+        self.supersede = supersede
         self._slots: Dict[int, ConsensusAutomaton] = {}
         self._pending: List[Any] = []
         self.applied: List[Any] = []
@@ -64,7 +67,9 @@ class ReplicatedLogAutomaton(Automaton):
     def _slot(self, index: int) -> ConsensusAutomaton:
         automaton = self._slots.get(index)
         if automaton is None:
-            automaton = ConsensusAutomaton(self.pid, frozenset(self.scope))
+            automaton = ConsensusAutomaton(
+                self.pid, frozenset(self.scope), supersede=self.supersede
+            )
             self._slots[index] = automaton
         return automaton
 
@@ -147,10 +152,12 @@ class ReplicatedLogCluster:
         pattern: FailurePattern,
         scope: ProcessSet,
         omega_stabilization: Optional[Time] = None,
+        supersede: str = "abandon",
     ) -> None:
         self.scope = scope
         self.automata: Dict[ProcessId, ReplicatedLogAutomaton] = {
-            p: ReplicatedLogAutomaton(p, scope) for p in sorted(scope)
+            p: ReplicatedLogAutomaton(p, scope, supersede=supersede)
+            for p in sorted(scope)
         }
         kwargs = {}
         if omega_stabilization is not None:

@@ -235,6 +235,17 @@ class ScenarioResult:
                 "scanned": trace["scanned"],
                 "actions": trace["actions"],
                 "quorum_stalls": trace["quorum_stalls"],
+                # Coverage inputs (cache schema 2): the explorer
+                # fingerprints runs from rows alone, so the row carries
+                # every signal repro.explore.coverage consumes.
+                "rounds": trace["rounds"],
+                "skipped": trace["skipped"],
+                "full_scan_rounds": trace["full_scan_rounds"],
+                "quorum_queries": trace["quorum_queries"],
+                "gamma_queries": trace["gamma_queries"],
+                "indicator_queries": trace["indicator_queries"],
+                "wait_reasons": trace["wait_reasons"],
+                "interleaving": trace["interleaving"],
             },
             "spec": self.spec.to_json() if self.spec else None,
         }
@@ -515,8 +526,9 @@ def _execute_kernel(
                 f"(intersecting groups need Algorithm 1 — the engine "
                 f"backend)"
             )
+    supersede = "wait" if "supersede-wait" in spec.quirks else "abandon"
     clusters = {
-        g.name: ReplicatedLogCluster(pattern, g.members)
+        g.name: ReplicatedLogCluster(pattern, g.members, supersede=supersede)
         for g in topology.groups
     }
     automata = {}

@@ -40,10 +40,12 @@ from repro.model.processes import ProcessId, make_processes, pset
 #: version 4 added the *generator* form of :class:`TopologySpec` (a
 #: topology addressed by recipe instead of by expanded group map);
 #: version 5 added the asynchronous backend and its axes
-#: (``delay_model``, ``clock``).  Older payloads load unchanged: v1–v3
-#: topologies always carry the explicit ``groups`` map, which still
-#: round-trips byte-identically, and the v5 axes default to absent.
-SPEC_SCHEMA_VERSION = 5
+#: (``delay_model``, ``clock``); version 6 added the ``quirks`` axis
+#: (named, replayable legacy behaviours such as the pre-fix superseded-
+#: proposer stall).  Older payloads load unchanged: v1–v3 topologies
+#: always carry the explicit ``groups`` map, which still round-trips
+#: byte-identically, and the v5/v6 axes default to absent.
+SPEC_SCHEMA_VERSION = 6
 
 #: The execution backends a scenario can run on: the round-based
 #: shared-object engine of §4.4, the step-level Appendix-A kernel, or
@@ -52,6 +54,18 @@ BACKENDS = ("engine", "kernel", "async")
 
 #: Clock sources of the async backend (see repro.runtime.async_driver).
 CLOCKS = ("virtual", "wall")
+
+#: Named, replayable legacy behaviours a scenario may opt back into
+#: (schema v6).  A *quirk* re-enables a retired code path byte-for-byte
+#: so a historical bug stays a reachable, content-addressed target for
+#: the fault/schedule explorer instead of vanishing with its fix:
+#:
+#: * ``"supersede-wait"`` — the pre-PR-4 :class:`ConsensusAutomaton`
+#:   prepare phase: a proposer superseded by a higher promised ballot
+#:   keeps waiting for promises that can never arrive instead of
+#:   abandoning the ballot (the consensus liveness stall surfaced by
+#:   ``omega_late`` leader rotation).  Kernel backend only.
+KNOWN_QUIRKS = ("supersede-wait",)
 
 
 def _delay_spec_to_json(spec: Any) -> Any:
@@ -201,6 +215,10 @@ class ScenarioSpec:
             default, runs fault-free and is excluded from
             :meth:`spec_hash`, so pre-nemesis scenario addresses are
             stable.
+        quirks: named legacy behaviours to replay (schema v6), each a
+            member of :data:`KNOWN_QUIRKS`; stored sorted.  The empty
+            default is excluded from :meth:`spec_hash`, so pre-v6
+            scenario addresses are stable.
         name: free-form label for reports.  Excluded from equality and
             from :meth:`spec_hash` — a label is not part of the
             scenario's identity.
@@ -220,6 +238,7 @@ class ScenarioSpec:
     faults: Optional["FaultPlan"] = None
     delay_model: Optional[Tuple[Any, ...]] = None
     clock: str = "virtual"
+    quirks: Tuple[str, ...] = ()
     name: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
@@ -231,6 +250,14 @@ class ScenarioSpec:
             raise SimulationError(
                 f"unknown clock {self.clock!r}; expected one of {CLOCKS}"
             )
+        for quirk in self.quirks:
+            if quirk not in KNOWN_QUIRKS:
+                raise SimulationError(
+                    f"unknown quirk {quirk!r}; expected members of {KNOWN_QUIRKS}"
+                )
+        # Canonical form: sorted, deduplicated — equal quirk sets must
+        # compare (and hash) equal regardless of the order given.
+        object.__setattr__(self, "quirks", tuple(sorted(set(self.quirks))))
         if self.delay_model is not None:
             from repro.runtime.delay import canonical_delay_spec
 
@@ -266,6 +293,7 @@ class ScenarioSpec:
         faults: Optional[FaultPlan] = None,
         delay_model: Optional[Tuple[Any, ...]] = None,
         clock: str = "virtual",
+        quirks: Tuple[str, ...] = (),
         name: str = "",
     ) -> "ScenarioSpec":
         """Extract a spec from the live objects a legacy call passes."""
@@ -286,6 +314,7 @@ class ScenarioSpec:
             faults=faults,
             delay_model=delay_model,
             clock=clock,
+            quirks=quirks,
             name=name,
         )
 
@@ -331,6 +360,7 @@ class ScenarioSpec:
             "faults": None if self.faults is None else self.faults.to_json(),
             "delay_model": _delay_spec_to_json(self.delay_model),
             "clock": self.clock,
+            "quirks": list(self.quirks),
             "name": self.name,
         }
 
@@ -372,6 +402,8 @@ class ScenarioSpec:
             # into the tuple form.
             delay_model=data.get("delay_model"),
             clock=data.get("clock", "virtual"),
+            # Absent before schema version 6: no legacy behaviours.
+            quirks=tuple(data.get("quirks", ())),
             name=data.get("name", ""),
         )
 
@@ -400,6 +432,9 @@ class ScenarioSpec:
             body.pop("delay_model", None)
         if self.clock == "virtual":
             body.pop("clock", None)
+        # Schema-6 axis: a quirk-free spec hashes as it did pre-v6.
+        if not self.quirks:
+            body.pop("quirks", None)
         canonical = json.dumps(
             body, sort_keys=True, separators=(",", ":"), default=str
         )

@@ -1,0 +1,114 @@
+"""The coverage extractor: rows -> fingerprint sets.
+
+The two contracts the corpus depends on:
+
+* **purity** — byte-identical rows produce identical fingerprint sets
+  (which is what lets cached campaign rows stand in for live runs);
+* **discrimination** — genuinely different execution schedules (event
+  dispatch vs full scan, round engine vs the async backend, faulted vs
+  clean) produce *different* sets, so novelty means a different shape
+  of execution, not a different label.
+"""
+
+import copy
+
+from repro.campaign.executor import execute_spec
+from repro.explore.coverage import bucket, coverage_of, coverage_stats
+from repro.faults.nemesis import random_plan
+from repro.groups.topology import paper_figure1_topology
+from repro.workloads.runner import Send
+from repro.workloads.spec import ScenarioSpec, TopologySpec
+
+TOPO = TopologySpec.capture(paper_figure1_topology())
+SENDS = (Send(1, "g1", 0), Send(3, "g2", 0), Send(4, "g3", 1))
+
+
+def spec(**overrides):
+    base = dict(topology=TOPO, sends=SENDS, seed=5, max_rounds=400)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestBucketing:
+    def test_log2_buckets(self):
+        assert bucket(0) == 0
+        assert bucket(1) == 1
+        assert bucket(2) == bucket(3) == 2
+        assert bucket(4) == bucket(7) == 3
+        assert bucket(1000) == bucket(1023) == 10
+
+    def test_regime_not_total(self):
+        # 1000 vs 1024 stalls: same regime; 0 vs 1 vs 100: all distinct.
+        assert bucket(1000) == 10 and bucket(1024) == 11
+        assert len({bucket(0), bucket(1), bucket(100)}) == 3
+
+
+class TestPurity:
+    def test_identical_rows_identical_fingerprints(self):
+        row_a = execute_spec((0, spec()))
+        row_b = execute_spec((1, spec()))
+        assert coverage_of(row_a) == coverage_of(row_b)
+
+    def test_pure_function_of_the_row(self):
+        row = execute_spec((0, spec()))
+        assert coverage_of(copy.deepcopy(row)) == coverage_of(row)
+
+    def test_never_raises_on_sparse_rows(self):
+        # Rows predating cache schema 2 lack the coverage signals.
+        fps = coverage_of({"status": "ok", "backend": "engine"})
+        assert "backend:engine" in fps
+
+    def test_failed_rows_fingerprint_the_error_type(self):
+        fps = coverage_of(
+            {"status": "failed", "error": "ValueError('boom')"}
+        )
+        assert fps == frozenset({"outcome:failed", "error:ValueError"})
+
+
+class TestDiscrimination:
+    def test_event_vs_scan_schedules_differ(self):
+        # The engine's event-driven schedule vs the kernel's full-scan
+        # rounds: same workload shape, different wait/scan fingerprints.
+        from repro.workloads.topologies import disjoint_topology
+
+        disjoint = TopologySpec.capture(disjoint_topology(2, group_size=3))
+        sends = (Send(1, "g1", 0), Send(4, "g2", 0))
+        engine = execute_spec(
+            (0, spec(topology=disjoint, sends=sends, backend="engine"))
+        )
+        kernel = execute_spec(
+            (0, spec(topology=disjoint, sends=sends, backend="kernel"))
+        )
+        assert coverage_of(engine) != coverage_of(kernel)
+
+    def test_engine_vs_async_schedules_differ(self):
+        engine = execute_spec((0, spec(backend="engine")))
+        asynchronous = execute_spec((0, spec(backend="async")))
+        fps_engine = coverage_of(engine)
+        fps_async = coverage_of(asynchronous)
+        assert fps_engine != fps_async
+        assert "backend:engine" in fps_engine
+        assert "backend:async" in fps_async
+        # Beyond the backend tag: the schedules themselves diverge.
+        assert {f for f in fps_engine if f.startswith("trace:")} != {
+            f for f in fps_async if f.startswith("trace:")
+        }
+
+    def test_faulted_run_buys_coverage_over_clean(self):
+        clean = coverage_of(execute_spec((0, spec())))
+        plan = random_plan(
+            3, "full", process_count=TOPO.process_count,
+            groups=tuple(name for name, _ in TOPO.groups),
+        )
+        faulted = coverage_of(execute_spec((0, spec(faults=plan))))
+        assert faulted - clean  # injector stats etc. are new fingerprints
+
+    def test_interleaving_signatures_are_fingerprinted(self):
+        fps = coverage_of(execute_spec((0, spec())))
+        assert any(f.startswith("interleave:") for f in fps)
+
+
+class TestStats:
+    def test_prefix_histogram(self):
+        fps = frozenset({"backend:engine", "trace:rounds:b3", "wait:x:b1"})
+        assert coverage_stats(fps) == {"backend": 1, "trace": 1, "wait": 1}

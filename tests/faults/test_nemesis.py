@@ -11,7 +11,13 @@ raises otherwise, which surfaces here as a scenario failure).
 import pytest
 
 from repro.faults.__main__ import matrix_specs
-from repro.faults.nemesis import MIXES, nemesis_plans, random_plan
+from repro.faults.nemesis import (
+    FAMILIES,
+    MIXES,
+    nemesis_plans,
+    normalize_weights,
+    random_plan,
+)
 from repro.faults.plan import DETECTOR_KINDS, LINK_KINDS
 from repro.model.errors import ModelError
 from repro.workloads.runner import run_scenario
@@ -66,3 +72,87 @@ class TestSmokeMatrix:
         for spec in matrix_specs(seeds=20):
             result = run_scenario(spec)
             result.assert_ok()
+
+
+class TestWeightedMixes:
+    """The ``weights=`` axis of random_plan and its validation."""
+
+    #: Frozen plan hashes: the legacy (named-mix) and weighted RNG
+    #: streams are pinned so refactors cannot silently re-seed either —
+    #: corpus entries, cached rows and repro files all address plans by
+    #: these hashes.
+    LEGACY_FULL_S11 = (
+        "aa08df74eff7bc25723c289ead559133fe206b17a2c04c38995a38a1fb0de112"
+    )
+    LEGACY_LINKS_S3 = (
+        "68eb05743ac98cd6e80660c93a42a5555d4b57a2635cf0aaefb8ce34034ffdb6"
+    )
+    WEIGHTED_S11 = (
+        "53d9e6f1a192eb4177b8f50364da3dd7e24b3fc7ffbb5efc785033a13f858f70"
+    )
+
+    def test_legacy_stream_is_frozen(self):
+        plan = random_plan(11, "full", process_count=5, groups=("g1", "g2"))
+        assert plan.plan_hash() == self.LEGACY_FULL_S11
+        assert (
+            random_plan(3, "links", process_count=4).plan_hash()
+            == self.LEGACY_LINKS_S3
+        )
+
+    def test_weighted_stream_is_frozen(self):
+        plan = random_plan(
+            11, "full", process_count=5, groups=("g1", "g2"),
+            weights={"links": 2.0, "detectors": 1.0},
+        )
+        assert plan.plan_hash() == self.WEIGHTED_S11
+
+    def test_weights_normalize_once_so_scale_is_irrelevant(self):
+        kwargs = dict(process_count=5, groups=("g1", "g2"))
+        a = random_plan(11, "full", weights={"links": 2, "detectors": 1},
+                        **kwargs)
+        b = random_plan(11, "full", weights={"links": 4, "detectors": 2},
+                        **kwargs)
+        c = random_plan(11, "full",
+                        weights={"links": 0.5, "detectors": 0.25}, **kwargs)
+        assert a == b == c
+
+    def test_weights_replace_the_named_mix(self):
+        kwargs = dict(process_count=5, groups=("g1", "g2"))
+        weights = {"links": 2.0, "detectors": 1.0}
+        assert random_plan(11, "links", weights=weights, **kwargs) == \
+            random_plan(11, "full", weights=weights, **kwargs)
+
+    def test_weighted_families_gate_the_drawn_kinds(self):
+        for seed in range(10):
+            plan = random_plan(
+                seed, "full", process_count=5, groups=("g1",),
+                weights={"links": 1.0},
+            )
+            assert {e.kind for e in plan} <= set(LINK_KINDS)
+
+    def test_normalized_weights_sum_to_one(self):
+        normalized = normalize_weights({"links": 3, "crashes": 1})
+        assert sum(normalized.values()) == pytest.approx(1.0)
+        assert normalized == {"links": 0.75, "crashes": 0.25}
+        uniform = normalize_weights({f: 1 for f in FAMILIES})
+        assert set(uniform) == set(FAMILIES)
+        assert all(w == pytest.approx(0.25) for w in uniform.values())
+
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            {},
+            {"quantum": 1.0},
+            {"links": -1.0},
+            {"links": float("nan")},
+            {"links": float("inf")},
+            {"links": "heavy"},
+            {"links": True},
+            {"links": 0.0, "detectors": 0.0},
+        ],
+    )
+    def test_malformed_weights_fail_loudly(self, weights):
+        with pytest.raises(ModelError):
+            normalize_weights(weights)
+        with pytest.raises(ModelError):
+            random_plan(0, "full", process_count=5, weights=weights)

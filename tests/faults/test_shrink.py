@@ -6,6 +6,8 @@ from repro.faults.nemesis import random_plan
 from repro.faults.plan import FaultEvent, FaultPlan, plan_of
 from repro.faults.shrink import (
     PlanShrinker,
+    ShrinkCache,
+    ensure_shrink_cache,
     harness_violates,
     load_repro,
     replay_repro,
@@ -130,3 +132,59 @@ class TestBroadcastBaseline:
     def test_unknown_harness_is_rejected(self):
         with pytest.raises(ValueError):
             run_harness("chaos", spec_with())
+
+
+class TestShrinkCache:
+    """Persistent memoization of shrink verdicts across invocations."""
+
+    def _plan(self):
+        return random_plan(7, "full", process_count=6, groups=("g1", "g2"))
+
+    def test_second_shrink_costs_zero_evaluations(self, tmp_path):
+        cache = str(tmp_path / "shrink-cache")
+        spec = spec_with(self._plan())
+        first_minimal, first = shrink_plan(
+            spec, harness="broadcast", cache=cache
+        )
+        assert first.evaluations > 0
+        second_minimal, second = shrink_plan(
+            spec, harness="broadcast", cache=cache
+        )
+        assert second_minimal == first_minimal
+        assert second.evaluations == 0
+        assert second.cache_hits == second.probes
+
+    def test_verdicts_are_namespaced_by_harness(self, tmp_path):
+        cache = ShrinkCache(str(tmp_path / "shrink-cache"))
+        spec = spec_with(self._plan())
+        cache.put("broadcast", spec, True)
+        assert cache.get("broadcast", spec) is True
+        assert cache.get("scenario", spec) is None
+
+    def test_corruption_is_a_miss(self, tmp_path):
+        cache = ShrinkCache(str(tmp_path / "shrink-cache"))
+        spec = spec_with(self._plan())
+        cache.put("broadcast", spec, True)
+        with open(cache.path_for("broadcast", spec), "w") as fh:
+            fh.write("{torn")
+        assert cache.get("broadcast", spec) is None
+        assert cache.misses == 1
+
+    def test_cache_argument_coercion(self, tmp_path):
+        cache = ShrinkCache(str(tmp_path / "c"))
+        assert ensure_shrink_cache(cache) is cache
+        assert ensure_shrink_cache(None) is None
+        assert isinstance(ensure_shrink_cache(str(tmp_path)), ShrinkCache)
+        with pytest.raises(TypeError):
+            ensure_shrink_cache(42)
+
+    def test_stats_ride_the_repro_payload(self):
+        spec = spec_with(self._plan())
+        minimal, shrinker = shrink_plan(spec, harness="broadcast")
+        payload = repro_payload(
+            spec, minimal, spec.faults, harness="broadcast",
+            shrinker=shrinker,
+        )
+        stats = payload["shrink"]
+        assert stats["probes"] >= stats["evaluations"]
+        assert stats["reduction"] == 1.0  # intrinsic: shrinks to empty

@@ -190,7 +190,9 @@ class TestVirtualClockDeterminism:
 
 class TestSpecSchemaV5:
     def test_schema_version(self):
-        assert SPEC_SCHEMA_VERSION == 5
+        # v5 added the async axes below; v6 added the quirks axis
+        # (tests/workloads/test_spec_quirks.py).
+        assert SPEC_SCHEMA_VERSION == 6
 
     def test_json_round_trip(self):
         spec = async_spec(
