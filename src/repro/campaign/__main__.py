@@ -191,10 +191,33 @@ def main(argv=None) -> int:
         "to sweep several (only async cells expand over this axis; "
         "default: the backend's uniform default)",
     )
+    parser.add_argument(
+        "--stall-window",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help="arm the per-run stall watchdog: a run making no delivery/"
+        "apply progress for this many rounds fails its cell with a "
+        "triaged wait-reason histogram instead of burning its round "
+        "budget (pick a window above the protocol's natural commit "
+        "latency; the planted supersede-wait stall trips at 100)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget (process mode only): a cell "
+        "that exceeds it yields a failed row with error='timeout' "
+        "instead of hanging the sweep",
+    )
     args = parser.parse_args(argv)
 
     if args.resume and not args.out:
         parser.error("--resume requires --out")
+    if args.cell_timeout is not None and args.workers <= 1:
+        parser.error("--cell-timeout needs --workers >= 2 (process mode); "
+                     "use --stall-window for in-process sweeps")
     shard = None
     if args.shard is not None:
         try:
@@ -226,6 +249,8 @@ def main(argv=None) -> int:
         resume=args.resume,
         shard=shard,
         keep_rows=True,  # the smoke table below wants the rows
+        stall_window=args.stall_window,
+        cell_timeout=args.cell_timeout,
     )
 
     print(sweep_table(report.rows))

@@ -45,6 +45,7 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import (
     Any,
     Callable,
@@ -66,6 +67,7 @@ from repro.campaign.aggregate import (
 from repro.campaign.cache import CampaignCache, ensure_cache, shard_cells
 from repro.campaign.grid import Campaign
 from repro.metrics.sweep import SweepAggregator
+from repro.runtime.watchdog import StallError
 from repro.workloads.runner import run_scenario, triage_record
 from repro.workloads.spec import ScenarioSpec
 
@@ -85,10 +87,28 @@ def execute_spec(task: Tuple[int, ScenarioSpec]) -> Dict[str, Any]:
     worker process receives).  A raising scenario is converted into a
     ``status="failed"`` row that still self-describes its spec, so one
     bad grid point cannot take down a sweep.
+
+    ``task`` is ``(index, spec)`` or ``(index, spec, stall_window)`` —
+    the third element arms the runner's stall watchdog (see
+    :func:`repro.workloads.runner.run_scenario`).  A watchdog-detected
+    stall becomes a ``status="failed"`` row with ``error="stall"`` plus
+    a ``stall`` payload carrying the wait-reason histogram: the cell
+    fails fast and descriptive instead of burning its whole budget.
     """
-    index, spec = task
+    index, spec = task[0], task[1]
+    stall_window = task[2] if len(task) > 2 else None
     try:
-        row = run_scenario(spec).to_row()
+        row = run_scenario(spec, stall_window=stall_window).to_row()
+    except StallError as exc:
+        row = {
+            "name": spec.name,
+            "spec_hash": spec.spec_hash(),
+            "status": "failed",
+            "error": "stall",
+            "stall": exc.to_triage(),
+            "triage": triage_record(spec),
+            "spec": spec.to_json(),
+        }
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         row = {
             "name": spec.name,
@@ -105,21 +125,71 @@ def execute_spec(task: Tuple[int, ScenarioSpec]) -> Dict[str, Any]:
     return row
 
 
+def _timeout_row(index: int, spec: ScenarioSpec, budget: float) -> Dict[str, Any]:
+    """The failed row of a cell whose worker blew the per-cell budget."""
+    return {
+        "name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "status": "failed",
+        "error": "timeout",
+        "timeout": budget,
+        "triage": triage_record(spec),
+        "spec": spec.to_json(),
+        "index": index,
+    }
+
+
 def iter_campaign_rows(
     specs: Sequence[ScenarioSpec],
     *,
     workers: int = 1,
     mp_context: Optional[object] = None,
+    stall_window: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
 ) -> Iterator[Dict[str, Any]]:
     """Stream result rows in spec order.
 
     With ``workers <= 1`` the specs run serially in-process; otherwise a
     process pool executes them while this generator yields whatever is
-    ready, still in submission order.
+    ready, still in submission order.  ``stall_window`` and
+    ``cell_timeout`` are the liveness backstops (see
+    :func:`run_campaign`).
     """
     return _iter_cell_rows(
-        list(enumerate(specs)), workers=workers, mp_context=mp_context
+        list(enumerate(specs)),
+        workers=workers,
+        mp_context=mp_context,
+        stall_window=stall_window,
+        cell_timeout=cell_timeout,
     )
+
+
+def _timed_pool_rows(
+    pool: ProcessPoolExecutor,
+    batch: Sequence[Tuple[int, ScenarioSpec]],
+    tasks: Sequence[Tuple],
+    budget: float,
+    timed_out: List[bool],
+) -> Iterator[Dict[str, Any]]:
+    """Pool execution with a per-cell wall-clock budget.
+
+    Futures are submitted up front and drained in cell order; a cell
+    whose result is not available ``budget`` seconds after we start
+    waiting on it yields a ``status="failed"`` row with
+    ``error="timeout"`` and the sweep moves on.  The stuck worker cannot
+    be killed without tearing down the whole pool, so it is left to
+    finish (or linger) in the background and the pool is shut down
+    without waiting at the end — the *sweep* never hangs, which is the
+    contract.  Timeout rows are never cached (the cache refuses non-OK
+    rows), so a rerun retries the cell.
+    """
+    futures = [pool.submit(execute_spec, task) for task in tasks]
+    for (index, spec), future in zip(batch, futures):
+        try:
+            yield future.result(timeout=budget)
+        except FutureTimeoutError:
+            timed_out[0] = True
+            yield _timeout_row(index, spec, budget)
 
 
 def _iter_cell_rows(
@@ -129,6 +199,8 @@ def _iter_cell_rows(
     mp_context: Optional[object] = None,
     cache: Optional[CampaignCache] = None,
     counters: Optional[Dict[str, int]] = None,
+    stall_window: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
 ) -> Iterator[Dict[str, Any]]:
     """Stream rows for ``(global index, spec)`` cells, in cell order.
 
@@ -144,6 +216,7 @@ def _iter_cell_rows(
     counters.setdefault("cached", 0)
     tasks = list(cells)
     pool: Optional[ProcessPoolExecutor] = None
+    timed_out = [False]
     try:
         if workers > 1:
             pool = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
@@ -151,10 +224,19 @@ def _iter_cell_rows(
         def run_batch(batch: List[Tuple[int, ScenarioSpec]]) -> Iterator[Dict[str, Any]]:
             if not batch:
                 return iter(())
+            units: List[Tuple] = (
+                [(index, spec, stall_window) for index, spec in batch]
+                if stall_window is not None
+                else list(batch)
+            )
             if pool is None:
-                return map(execute_spec, batch)
+                return map(execute_spec, units)
+            if cell_timeout is not None:
+                return _timed_pool_rows(
+                    pool, batch, units, cell_timeout, timed_out
+                )
             chunksize = max(1, len(batch) // (workers * 4))
-            return pool.map(execute_spec, batch, chunksize=chunksize)
+            return pool.map(execute_spec, units, chunksize=chunksize)
 
         if cache is None:
             for row in run_batch(tasks):
@@ -180,7 +262,13 @@ def _iter_cell_rows(
                 yield row
     finally:
         if pool is not None:
-            pool.shutdown()
+            # After a per-cell timeout a worker may still be grinding on
+            # the stuck cell; waiting on it would turn a contained cell
+            # failure back into a hung sweep.
+            if timed_out[0]:
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown()
 
 
 def run_campaign(
@@ -195,6 +283,8 @@ def run_campaign(
     resume: bool = False,
     keep_rows: Optional[bool] = None,
     shard: Optional[Tuple[int, int]] = None,
+    stall_window: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
 ) -> CampaignReport:
     """Execute a campaign (or a bare spec list) and aggregate the rows.
 
@@ -231,6 +321,17 @@ def run_campaign(
             sweep's hash-prefix shard of the grid (see
             :func:`repro.campaign.cache.shard_cells`).  Rows keep their
             global grid indices.
+        stall_window: arm the runner's stall watchdog for every cell —
+            a cell making no progress for this many rounds past its
+            settle horizon fails fast as a ``status="failed"`` row with
+            ``error="stall"`` and a wait-reason histogram, instead of
+            burning its whole round budget.
+        cell_timeout: per-cell wall-clock budget in seconds
+            (``mode="process"`` only): a cell whose worker blows the
+            budget becomes a ``status="failed"`` row with
+            ``error="timeout"`` and the sweep continues.  Timeout rows
+            are never cached, so reruns and resumes retry the cell —
+            cache/resume semantics are otherwise unchanged.
 
     Returns:
         a :class:`CampaignReport` whose rows are in spec order and
@@ -257,6 +358,11 @@ def run_campaign(
     if resume and out_dir is None:
         raise ValueError("resume=True needs an out_dir holding the partial "
                          "results.jsonl")
+    if cell_timeout is not None and mode != "process":
+        raise ValueError(
+            "cell_timeout needs mode='process': an in-process sweep cannot "
+            "preempt its own cell — arm stall_window instead"
+        )
     effective_workers = workers if mode == "process" else 1
     cache_obj = ensure_cache(cache)
     if keep_rows is None:
@@ -325,6 +431,8 @@ def run_campaign(
                 mp_context=mp_context,
                 cache=cache_obj,
                 counters=counters,
+                stall_window=stall_window,
+                cell_timeout=cell_timeout,
             ):
                 consume(row)
                 if writer is not None:

@@ -123,6 +123,11 @@ class Campaign:
     event_drivens: Tuple[Optional[bool], ...] = (None,)
     faults: Tuple[Optional[FaultPlan], ...] = (None,)
     delay_models: Tuple[Optional[Tuple[Any, ...]], ...] = (None,)
+    #: Retained-quirk names stamped onto *every* expanded spec (not an
+    #: axis: quirk sweeps would double grids for cells whose backends
+    #: ignore the quirk).  Empty — the default — is omitted from
+    #: :meth:`to_json`, so pre-quirk campaign hashes are unchanged.
+    quirks: Tuple[str, ...] = ()
     max_rounds: int = 600
 
     def __post_init__(self) -> None:
@@ -182,6 +187,7 @@ class Campaign:
                                                         event_driven=event_driven,
                                                         faults=plan,
                                                         delay_model=dm,
+                                                        quirks=self.quirks,
                                                         name=self._label(
                                                             kase.label,
                                                             seed,
@@ -264,6 +270,8 @@ class Campaign:
             body["delay_models"] = [
                 _delay_spec_to_json(dm) for dm in self.delay_models
             ]
+        if self.quirks:
+            body["quirks"] = list(self.quirks)
         return body
 
     def _base_json(self) -> Dict[str, Any]:

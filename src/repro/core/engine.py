@@ -183,10 +183,12 @@ class MulticastSystem:
             # keeps waiting the windows out.
             for group_name, until in injector.omega_delays():
                 self.mu.delay_omega(group_name, until)
-        last_crash = max(pattern.crash_times.values(), default=0)
+        # Last alive-set change: the final crash, or (under the
+        # crash–recovery overlay) the final rejoin if later.
+        last_change = max(pattern.change_instants(), default=0)
         self._settle_time: Time = (
             max(
-                last_crash + gamma_lag + indicator_lag,
+                last_change + gamma_lag + indicator_lag,
                 self.mu.omega_settle_time(),
                 injector.horizon if injector is not None else 0,
             )
@@ -206,6 +208,11 @@ class MulticastSystem:
             alive_instants={
                 when
                 for p, when in pattern.crash_times.items()
+                if p in topology.processes
+            }
+            | {
+                when
+                for p, when in pattern.recovery_times.items()
                 if p in topology.processes
             },
         )
@@ -410,17 +417,20 @@ class MulticastSystem:
         max_rounds: int = 500,
         participation: Optional[ProcessSet] = None,
         quiescent_rounds: int = 2,
+        stop_when: Optional[Callable[[], bool]] = None,
     ) -> int:
         """Run rounds until quiescence (or ``max_rounds``).
 
         Quiescence requires ``quiescent_rounds`` consecutive idle rounds
         *after* the detector settle horizon, since actions blocked on
         ``gamma``, an indicator or an unstable Omega may re-enable when
-        the detectors settle.  Returns the number of rounds executed;
-        :attr:`last_run_quiescent` reports how the run ended.
+        the detectors settle.  ``stop_when`` is evaluated after every
+        round and cuts the run short without claiming quiescence (the
+        stall watchdog plugs in here).  Returns the number of rounds
+        executed; :attr:`last_run_quiescent` reports how the run ended.
         """
         outcome = self._scheduler.run(
-            max_rounds, participation, quiescent_rounds
+            max_rounds, participation, quiescent_rounds, stop_when=stop_when
         )
         return outcome.rounds
 

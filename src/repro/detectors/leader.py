@@ -47,7 +47,11 @@ class OmegaOracle(OracleDetector):
             raise DetectorError("Omega scope must be non-empty")
         self.scope = pset(scope)
         if stabilization_time is None:
-            stabilization_time = max(pattern.crash_times.values(), default=0)
+            # Last alive-set change: crash times plus (under the
+            # crash–recovery overlay) recovery times — Leadership is an
+            # eventual property, and a leader elected before the final
+            # rejoin may still be superseded.
+            stabilization_time = max(pattern.change_instants(), default=0)
         self.stabilization_time = stabilization_time
         self._sorted_scope = sorted(self.scope)
         correct = [q for q in self._sorted_scope if pattern.is_correct(q)]
@@ -55,11 +59,16 @@ class OmegaOracle(OracleDetector):
         #: scope is faulty, in which case Leadership is vacuous).
         self.eventual_leader = correct[0] if correct else None
         # Pre-stabilization samples change only at the scope's crash
-        # instants; cache one per inter-crash interval.
+        # and recovery instants; cache one per inter-change interval.
         self._crash_instants = sorted(
             {
                 when
                 for q, when in pattern.crash_times.items()
+                if q in self.scope
+            }
+            | {
+                when
+                for q, when in pattern.recovery_times.items()
                 if q in self.scope
             }
         )

@@ -45,14 +45,20 @@ class SigmaOracle(OracleDetector):
             p for p in self.scope if pattern.is_correct(p)
         )
         # The sample is a pure function of which scope members are alive,
-        # which only changes at the scope's crash instants — one cached
-        # sample per inter-crash interval (a single constant sample on
-        # failure-free patterns, where kernel runs issue one query per
-        # process per round).
+        # which only changes at the scope's crash *and* recovery
+        # instants — one cached sample per inter-change interval (a
+        # single constant sample on failure-free patterns, where kernel
+        # runs issue one query per process per round).  Recovery makes
+        # the alive set non-monotone, but each epoch is still constant.
         self._crash_instants = sorted(
             {
                 when
                 for q, when in pattern.crash_times.items()
+                if q in self.scope
+            }
+            | {
+                when
+                for q, when in pattern.recovery_times.items()
                 if q in self.scope
             }
         )
@@ -73,8 +79,12 @@ class SigmaOracle(OracleDetector):
         sample = self._samples.get(epoch)
         if sample is None:
             alive = pset(q for q in self.scope if self.pattern.is_alive(q, t))
-            # ``alive`` contains every correct member of the scope, hence
-            # any two samples intersect on them.
-            sample = alive if alive else self._scope_correct
+            # Union in the correct members: on crash-stop patterns this
+            # is a no-op (every correct member is alive), and under
+            # crash–recovery it keeps Intersection — a temporarily-down
+            # recovering member stays in every sample, so any two
+            # samples intersect on ``Correct ∩ P``.  Operations quoting
+            # such a member stall, admissibly, until its rejoin.
+            sample = pset(alive | self._scope_correct)
             self._samples[epoch] = sample
         return sample

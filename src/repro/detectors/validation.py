@@ -112,7 +112,7 @@ def check_gamma(
                     f"Accuracy violated at {p.name} t={t}: a live family "
                     f"was excluded"
                 )
-    horizon = max(pattern.crash_times.values(), default=0)
+    horizon = max(pattern.change_instants(), default=0)
     for p, samples in _samples_by_process(history).items():
         if not pattern.is_correct(p) or not samples:
             continue

@@ -31,8 +31,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.explore.driver import Explorer, load_baseline
 from repro.groups.topology import paper_figure1_topology
@@ -103,6 +104,56 @@ def base_cells(
             )
         )
     return cells
+
+
+class _GracefulStop:
+    """SIGINT/SIGTERM → stop at the next iteration boundary.
+
+    The first signal requests a graceful stop: the explorer finishes
+    its in-flight iteration (corpus entries and shrink verdicts are
+    write-through, so nothing needs an explicit flush), prints the
+    partial ledger and writes a partial ``report.json`` marked
+    ``interrupted``.  A second signal restores the default disposition
+    and re-raises itself — an explorer wedged inside one iteration can
+    still be killed the ordinary way.
+    """
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+        self._previous: dict = {}
+
+    def install(self) -> "_GracefulStop":
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):
+                pass  # non-main thread / unsupported platform: no-op
+        return self
+
+    def uninstall(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+
+    def _handle(self, signum, frame) -> None:
+        if self.signum is not None:
+            # Second signal: give up on graceful, die the normal way.
+            signal.signal(signum, signal.SIG_DFL)
+            signal.raise_signal(signum)
+            return
+        self.signum = signum
+        name = signal.Signals(signum).name
+        print(
+            f"\n{name}: finishing the in-flight iteration, then writing "
+            f"the partial report (repeat to force-quit)",
+            file=sys.stderr,
+        )
+
+    def stopped(self) -> bool:
+        return self.signum is not None
 
 
 def main(argv=None) -> int:
@@ -191,12 +242,20 @@ def main(argv=None) -> int:
         out_dir=args.out,
         mutate_delay="async" in backends,
     )
-    report = explorer.run(
-        iterations=iterations, wall_budget=args.wall_budget
-    )
+    stop = _GracefulStop().install()
+    try:
+        report = explorer.run(
+            iterations=iterations,
+            wall_budget=args.wall_budget,
+            should_stop=stop.stopped,
+        )
+    finally:
+        stop.uninstall()
 
+    partial = " (partial: interrupted)" if report.interrupted else ""
     print(
-        f"explore[{report.strategy}]: {report.iterations} iterations, "
+        f"explore[{report.strategy}]{partial}: "
+        f"{report.iterations} iterations, "
         f"{report.coverage} distinct fingerprints, "
         f"{explorer.violations} violating runs, "
         f"{len(report.triage)} distinct violations, "
@@ -216,7 +275,7 @@ def main(argv=None) -> int:
             f"(first at iteration {record['first_iteration']})"
         )
 
-    if args.compare_random:
+    if args.compare_random and not report.interrupted:
         ablation = Explorer(
             bases,
             seed=args.seed,
@@ -244,11 +303,18 @@ def main(argv=None) -> int:
             print(f"NEW violations vs {args.baseline}:")
             for key in new:
                 print(f"  {key}")
-            return 1
-        print(
-            f"no new violations vs {args.baseline} "
-            f"({len(report.triage)} known)"
-        )
+            if not report.interrupted:
+                return 1
+        elif not report.interrupted:
+            print(
+                f"no new violations vs {args.baseline} "
+                f"({len(report.triage)} known)"
+            )
+    if report.interrupted:
+        # Conventional interrupted-by-signal exit code: the partial
+        # report is on disk, but the campaign did not run to budget, so
+        # neither a green soak lane nor a red one can be claimed.
+        return 128 + (stop.signum or signal.SIGINT)
     return 0
 
 

@@ -105,6 +105,11 @@ class ExploreReport:
     triage: List[Dict[str, Any]] = field(default_factory=list)
     cache: Optional[Dict[str, int]] = None
     shrink_cache: Optional[Dict[str, int]] = None
+    #: True when the campaign stopped early on a stop request (SIGINT /
+    #: SIGTERM) rather than exhausting its budget — the report is then
+    #: *partial* but internally consistent: the in-flight iteration
+    #: completed and every corpus entry and shrink verdict is on disk.
+    interrupted: bool = False
 
     @property
     def triage_keys(self) -> List[str]:
@@ -136,6 +141,7 @@ class ExploreReport:
             "triage": self.triage,
             "cache": self.cache,
             "shrink_cache": self.shrink_cache,
+            "interrupted": self.interrupted,
         }
 
     def write(self, out_dir: str) -> str:
@@ -441,6 +447,7 @@ class Explorer:
         self,
         iterations: Optional[int] = None,
         wall_budget: Optional[float] = None,
+        should_stop: Optional[Any] = None,
     ) -> ExploreReport:
         """Explore until either budget is spent; returns the report.
 
@@ -450,6 +457,13 @@ class Explorer:
         search (the rng, corpus and triage ledger persist on the
         instance), which is how a soak lane strings fixed-size bursts
         together under one wall clock.
+
+        ``should_stop`` (a nullary callable) is polled between
+        iterations: when it returns True the campaign stops at that
+        boundary and the report comes back with ``interrupted=True``.
+        Nothing is lost on an interrupt — the corpus and shrink cache
+        persist write-through per entry, so the partial report plus the
+        on-disk state are exactly the campaign prefix that ran.
         """
         if iterations is None and wall_budget is None:
             raise ValueError(
@@ -457,7 +471,11 @@ class Explorer:
             )
         start = time.monotonic()
         done = 0
+        interrupted = False
         while True:
+            if should_stop is not None and should_stop():
+                interrupted = True
+                break
             if iterations is not None and done >= iterations:
                 break
             if (
@@ -488,9 +506,13 @@ class Explorer:
                 }
             )
         self.iterations += done
-        return self.report(elapsed=time.monotonic() - start)
+        return self.report(
+            elapsed=time.monotonic() - start, interrupted=interrupted
+        )
 
-    def report(self, elapsed: float = 0.0) -> ExploreReport:
+    def report(
+        self, elapsed: float = 0.0, interrupted: bool = False
+    ) -> ExploreReport:
         """The campaign report (triage records sorted by first sighting)."""
         records = sorted(
             self.triage.values(), key=lambda r: r["first_iteration"]
@@ -516,4 +538,5 @@ class Explorer:
                 if self.shrink_cache is not None
                 else None
             ),
+            interrupted=interrupted,
         )

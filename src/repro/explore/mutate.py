@@ -35,6 +35,7 @@ from repro.faults.plan import (
     FaultPlan,
     FaultPlanError,
     LINK_KINDS,
+    RECOVERY_KINDS,
 )
 from repro.workloads.spec import ScenarioSpec
 
@@ -54,15 +55,43 @@ def random_event(
 
     Unlike :func:`repro.faults.nemesis.random_plan`, every kind is
     reachable — including ``crash_burst`` and ``churn``, which the
-    named mixes draw rarely or never.  That asymmetry is deliberate:
-    kinds only the *guided* search injects are coverage pure random
-    sampling cannot buy.
+    named mixes draw rarely or never, and the recovery axis
+    (``partition`` / ``crash_recover`` / ``link_flaky``).  That
+    asymmetry is deliberate: kinds only the *guided* search injects are
+    coverage pure random sampling cannot buy.
     """
     kind = rng.choice(
-        LINK_KINDS + DETECTOR_KINDS + ("churn",)
+        LINK_KINDS + DETECTOR_KINDS + ("churn", "link_flaky")
         + (("crash_burst",) if process_count >= 3 else ())
+        + (("partition",) if process_count >= 2 else ())
+        + (("crash_recover",) if process_count >= 3 else ())
     )
     start = rng.randint(1, max(1, horizon))
+    if kind == "link_flaky":
+        return FaultEvent(
+            kind=kind,
+            start=start,
+            until=start + rng.randint(2, 6),
+            amount=rng.randint(0, 3),
+        )
+    if kind == "partition":
+        size = rng.randint(1, max(1, process_count // 2))
+        component = tuple(
+            sorted(rng.sample(range(1, process_count + 1), size))
+        )
+        return FaultEvent(
+            kind=kind,
+            start=start,
+            until=start + rng.randint(2, 8),
+            targets=component,
+        )
+    if kind == "crash_recover":
+        return FaultEvent(
+            kind=kind,
+            start=max(2, start),
+            until=max(2, start) + rng.randint(3, 8),
+            targets=(rng.randint(1, process_count),),
+        )
     if kind in LINK_KINDS:
         amount = rng.randint(2, 4) if kind == "link_reorder" else rng.randint(1, 4)
         return FaultEvent(

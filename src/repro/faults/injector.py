@@ -119,11 +119,18 @@ class FaultInjector:
             "suppressed": 0,
             "sigma_noised": 0,
             "omega_rotated": 0,
+            "partitioned": 0,
+            "flaky_dropped": 0,
+            "flaky_retransmitted": 0,
+            "recovered": 0,
         }
         self._delays = plan.by_kind("link_delay")
         self._reorders = plan.by_kind("link_reorder")
         self._dups = list(plan.by_kind("link_dup"))
         self._drops = list(plan.by_kind("link_drop"))
+        self._partitions = plan.by_kind("partition")
+        self._flaky = plan.by_kind("link_flaky")
+        self._recovers = plan.by_kind("crash_recover")
         self._dup_budget: Dict[FaultEvent, int] = {
             e: e.amount for e in self._dups
         }
@@ -140,11 +147,16 @@ class FaultInjector:
     # -- Failure pattern (crash bursts) -----------------------------------
 
     def perturb_pattern(self, pattern: FailurePattern) -> FailurePattern:
-        """Apply the plan's staggered crash bursts to ``pattern``.
+        """Apply the plan's crash bursts and crash–recovery events.
 
-        Monotone by construction (:meth:`FailurePattern.with_crash`
-        keeps the earliest crash time); the audit re-checks that no
-        crash moved later.
+        Bursts are monotone by construction
+        (:meth:`FailurePattern.with_crash` keeps the earliest crash
+        time); the audit re-checks that no crash moved later.  A
+        ``crash_recover`` crashes its victim at ``start`` and rejoins
+        it at ``until`` — but *never* resurrects a process the base
+        pattern crashes on its own (base crashes are facts of the
+        environment, not of the plan), so crash monotonicity of the
+        base pattern is preserved by construction.
         """
         self._base_pattern = pattern
         perturbed = pattern
@@ -160,6 +172,23 @@ class FaultInjector:
                     raise AdmissibilityError(
                         f"crash_burst targets unknown process index {index}"
                     )
+        for event in self._recovers:
+            index = event.targets[0]
+            for p in pattern.processes:
+                if p.index == index:
+                    if p in pattern.crash_times:
+                        # The environment already crashes this process;
+                        # the plan may not un-crash it.
+                        break
+                    perturbed = perturbed.with_crash(
+                        p, event.start
+                    ).with_recovery(p, event.until)
+                    self.stats["recovered"] += 1
+                    break
+            else:
+                raise AdmissibilityError(
+                    f"crash_recover targets unknown process index {index}"
+                )
         self._perturbed_pattern = perturbed
         return perturbed
 
@@ -184,8 +213,38 @@ class FaultInjector:
 
     def on_send(self, src_index: int, dst_index: int, t: Time) -> SendVerdict:
         """Judge one datagram send on the ``src -> dst`` link at ``t``."""
-        if not (self._delays or self._dups or self._drops):
+        if not (
+            self._delays
+            or self._dups
+            or self._drops
+            or self._partitions
+            or self._flaky
+        ):
             return BENIGN_SEND
+        for event in self._partitions:
+            if event.active(t) and event.cuts(src_index, dst_index):
+                self.stats["partitioned"] += 1
+                # The cut heals at ``until``: every crossing datagram
+                # is retransmitted then (fair lossy by construction —
+                # no budget, no randomness).
+                return SendVerdict(
+                    dropped=True, retransmit_at=max(event.until, t + 1)
+                )
+        for event in self._flaky:
+            if (
+                event.active(t)
+                and event.matches_link(src_index, dst_index)
+                and self.rng.random() < 0.5
+            ):
+                self.stats["flaky_dropped"] += 1
+                self.stats["flaky_retransmitted"] += 1
+                jitter = (
+                    self.rng.randrange(event.amount) if event.amount else 0
+                )
+                # Unconditional per-datagram retransmission shortly
+                # after the drop — flaky links lose sends, never
+                # messages.
+                return SendVerdict(dropped=True, retransmit_at=t + 1 + jitter)
         delay = 0
         for event in self._delays:
             if event.active(t) and event.matches_link(src_index, dst_index):
@@ -221,6 +280,32 @@ class FaultInjector:
         if delay == 0 and copies == 0:
             return BENIGN_SEND
         return SendVerdict(delay=delay, copies=copies)
+
+    def link_clear(self, src_index: int, dst_index: int, t: Time) -> bool:
+        """Whether a (re)transmission attempt at ``t`` faces a clear
+        channel.
+
+        Side-effect-free and RNG-free — the async driver's retry ladder
+        probes this to decide which backoff attempts could land: inside
+        an active partition cut, a flaky window, or a budgeted lossy
+        window the attempt is presumed lost (the pessimistic answer is
+        always admissible; it only delays delivery to the fair-lossy
+        backstop).
+        """
+        for event in self._partitions:
+            if event.active(t) and event.cuts(src_index, dst_index):
+                return False
+        for event in self._flaky:
+            if event.active(t) and event.matches_link(src_index, dst_index):
+                return False
+        for event in self._drops:
+            if (
+                event.active(t)
+                and event.matches_link(src_index, dst_index)
+                and self._drop_budget[event] > 0
+            ):
+                return False
+        return True
 
     def pick_receive(self, dst_index: int, ready: int, t: Time) -> int:
         """Index (into the FIFO queue) of the datagram to extract.
@@ -344,6 +429,12 @@ class FaultInjector:
                 f"fair-lossy violated: {self.stats['dropped']} drops but "
                 f"{self.stats['retransmitted']} retransmissions"
             )
+        if self.stats["flaky_dropped"] != self.stats["flaky_retransmitted"]:
+            violations.append(
+                f"fair-lossy violated on flaky links: "
+                f"{self.stats['flaky_dropped']} drops but "
+                f"{self.stats['flaky_retransmitted']} retransmissions"
+            )
         if buffer is not None and final_time >= self.horizon:
             sequestered = buffer.delayed_count()
             if sequestered:
@@ -359,6 +450,18 @@ class FaultInjector:
                     violations.append(
                         f"crash monotonicity violated at {p.name}: "
                         f"{when} -> {moved}"
+                    )
+                if pattern.recovery_times.get(p) is not None:
+                    violations.append(
+                        f"recovery resurrects a base-pattern crash at "
+                        f"{p.name} (crashed at {when})"
+                    )
+            for p, rejoin in pattern.recovery_times.items():
+                crashed = pattern.crash_times.get(p)
+                if crashed is None or rejoin <= crashed:
+                    violations.append(
+                        f"recovery at {p.name} without a preceding crash "
+                        f"({crashed} -> {rejoin})"
                     )
         return violations
 

@@ -26,13 +26,17 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.model.errors import ModelError
 
-#: The named injector mixes a nemesis campaign sweeps.
-MIXES = ("links", "detectors", "full")
+#: The named injector mixes a nemesis campaign sweeps.  ``"recovery"``
+#: and ``"chaos"`` are additive: the pre-existing names keep their
+#: seeded draw streams byte-identical (each name seeds its own RNG), so
+#: every frozen plan hash of the old mixes survives the new kinds.
+MIXES = ("links", "detectors", "full", "recovery", "chaos")
 
 #: The event families a *weighted* mix draws from (see
-#: :func:`random_plan`'s ``weights``): the three named-mix families plus
-#: ``"crashes"``, which named mixes only reach via ``with_crashes``.
-FAMILIES = ("links", "detectors", "schedule", "crashes")
+#: :func:`random_plan`'s ``weights``): the named-mix families plus
+#: ``"crashes"``, which named mixes only reach via ``with_crashes``,
+#: and ``"recovery"`` (partition / crash-recover / flaky-link events).
+FAMILIES = ("links", "detectors", "schedule", "crashes", "recovery")
 
 
 def normalize_weights(
@@ -182,6 +186,46 @@ def _crash_events(
     ]
 
 
+def _recovery_events(
+    rng: random.Random, process_count: int, horizon: int
+) -> List[FaultEvent]:
+    """Recovery-axis events — each admissible by construction: the
+    partition heals at its window close (crossing wakes retransmit at
+    heal time), the crashed process rejoins from its durable snapshot,
+    and flaky drops carry bounded retransmission deadlines."""
+    events: List[FaultEvent] = []
+    if process_count >= 2:
+        size = rng.randint(1, max(1, process_count // 2))
+        component = tuple(
+            sorted(rng.sample(range(1, process_count + 1), size))
+        )
+        start = rng.randint(1, max(1, horizon // 2))
+        events.append(
+            FaultEvent(
+                kind="partition", start=start,
+                until=start + rng.randint(2, 6), targets=component,
+            )
+        )
+    if process_count >= 3 and rng.random() < 0.6:
+        victim = rng.randint(1, process_count)
+        start = rng.randint(2, max(2, horizon // 2))
+        events.append(
+            FaultEvent(
+                kind="crash_recover", start=start,
+                until=start + rng.randint(3, 8), targets=(victim,),
+            )
+        )
+    if rng.random() < 0.6:
+        start = rng.randint(1, max(1, horizon // 2))
+        events.append(
+            FaultEvent(
+                kind="link_flaky", start=start,
+                until=start + rng.randint(2, 5), amount=rng.randint(0, 3),
+            )
+        )
+    return events
+
+
 def random_plan(
     seed: int,
     mix: str = "full",
@@ -196,8 +240,10 @@ def random_plan(
     Args:
         seed: the draw is a pure function of ``(seed, mix/weights, …)``.
         mix: ``"links"`` (delay/reorder/dup/drop), ``"detectors"``
-            (sigma noise, late omega, gamma delay) or ``"full"`` (both,
-            plus churn).  Ignored when ``weights`` is given.
+            (sigma noise, late omega, gamma delay), ``"full"`` (both,
+            plus churn), ``"recovery"`` (partition / crash-recover /
+            flaky link) or ``"chaos"`` (everything).  Ignored when
+            ``weights`` is given.
         process_count: universe size (for churn victim selection).
         groups: group names (for detector-noise scoping).
         horizon: rough upper bound for window starts; actual plan
@@ -231,6 +277,9 @@ def random_plan(
                 rng, process_count, horizon
             ),
             "crashes": lambda: _crash_events(rng, process_count, horizon),
+            "recovery": lambda: _recovery_events(
+                rng, process_count, horizon
+            ),
         }
         events: List[FaultEvent] = []
         for family in sorted(normalized):
@@ -245,12 +294,14 @@ def random_plan(
         raise ModelError(f"unknown nemesis mix {mix!r}; pick from {MIXES}")
     rng = random.Random(f"nemesis:{mix}:{seed}")
     events = []
-    if mix in ("links", "full"):
+    if mix in ("links", "full", "chaos"):
         events.extend(_link_events(rng, process_count, horizon))
-    if mix in ("detectors", "full"):
+    if mix in ("detectors", "full", "chaos"):
         events.extend(_detector_events(rng, groups, horizon))
-    if mix == "full":
+    if mix in ("full", "chaos"):
         events.extend(_schedule_events(rng, process_count, horizon))
+    if mix in ("recovery", "chaos"):
+        events.extend(_recovery_events(rng, process_count, horizon))
     if with_crashes and process_count >= 3:
         victim = rng.randint(1, process_count)
         events.append(

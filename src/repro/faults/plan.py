@@ -39,7 +39,16 @@ unfair:
   is closed under early/extra crashes, and monotonicity is preserved by
   construction (:meth:`repro.model.FailurePattern.with_crash`);
 * ``churn`` suspends processes for a finite window, which is just
-  asynchrony (any finite step delay is an admissible schedule).
+  asynchrony (any finite step delay is an admissible schedule);
+* recovery events (``partition``, ``crash_recover``, ``link_flaky``)
+  extend the axis with healing: a ``partition`` splits the process set
+  into two components for a bounded window and *retransmits every
+  cut-crossing datagram at heal time* (fair lossy by construction), a
+  ``crash_recover`` crashes a process and rejoins it from a snapshot of
+  its durable substrate state at the window close (the base pattern's
+  own crashes are never resurrected), and ``link_flaky`` drops matching
+  datagrams probabilistically inside the window with an *unconditional*
+  per-datagram retransmission shortly after the drop.
 
 The *finite horizon* is the load-bearing invariant: every event declares
 when it is over, :meth:`FaultPlan.horizon` is the time by which the
@@ -71,8 +80,14 @@ DETECTOR_KINDS = ("sigma_noise", "omega_late", "gamma_delay")
 #: Event kinds that perturb the failure pattern / the schedule itself.
 SCHEDULE_KINDS = ("crash_burst", "churn")
 
+#: Recovery-aware kinds (healing partitions, crash–recovery, flaky
+#: links requiring retransmission).  Kept out of :data:`LINK_KINDS` /
+#: :data:`SCHEDULE_KINDS` so the frozen nemesis draw streams of the
+#: pre-existing named mixes are untouched.
+RECOVERY_KINDS = ("partition", "crash_recover", "link_flaky")
+
 #: Every supported injector kind.
-EVENT_KINDS = LINK_KINDS + DETECTOR_KINDS + SCHEDULE_KINDS
+EVENT_KINDS = LINK_KINDS + DETECTOR_KINDS + SCHEDULE_KINDS + RECOVERY_KINDS
 
 
 class FaultPlanError(ModelError):
@@ -133,6 +148,21 @@ class FaultEvent:
         (a staggered burst rather than a single instant).
     ``churn``
         processes ``targets`` take no steps during ``[start, until)``.
+    ``partition``
+        during ``[start, until)`` the process set is split into the
+        component ``targets`` and its complement; every datagram
+        crossing the cut is dropped and retransmitted at the heal time
+        ``until`` (plus one round of transit).
+    ``crash_recover``
+        process ``targets[0]`` crashes at ``start`` and rejoins at
+        ``until`` from a snapshot of its durable substrate state (the
+        volatile state of in-flight protocol phases is lost).
+    ``link_flaky``
+        datagrams on the matching link sent during ``[start, until)``
+        are dropped with probability one half (seeded injector RNG);
+        every drop is retransmitted within ``1 + amount`` rounds —
+        probabilistic loss that *requires* retransmission to stay
+        fair lossy.
 
     Attributes:
         kind: one of :data:`EVENT_KINDS`.
@@ -166,13 +196,17 @@ class FaultEvent:
             raise FaultPlanError(f"{self.kind}: negative time window")
         if self.amount < 0:
             raise FaultPlanError(f"{self.kind}: negative amount")
-        if self.kind in LINK_KINDS or self.kind in ("sigma_noise", "churn"):
+        if (
+            self.kind in LINK_KINDS
+            or self.kind in RECOVERY_KINDS
+            or self.kind in ("sigma_noise", "churn")
+        ):
             if self.until < self.start:
                 raise FaultPlanError(
                     f"{self.kind}: window [{self.start}, {self.until}) "
                     "is empty the wrong way around"
                 )
-        if self.kind in ("crash_burst", "churn"):
+        if self.kind in ("crash_burst", "churn", "partition", "crash_recover"):
             if not self.targets:
                 raise FaultPlanError(f"{self.kind}: needs target processes")
             if len(set(self.targets)) != len(self.targets):
@@ -183,6 +217,16 @@ class FaultEvent:
             raise FaultPlanError(
                 "link_reorder: amount is the pick window and must be >= 2"
             )
+        if self.kind == "crash_recover":
+            if len(self.targets) != 1:
+                raise FaultPlanError(
+                    "crash_recover: exactly one victim per event"
+                )
+            if self.until <= self.start:
+                raise FaultPlanError(
+                    "crash_recover: the rejoin must come strictly after "
+                    "the crash"
+                )
 
     # -- Window queries (the injector's hot predicates) -------------------
 
@@ -201,8 +245,15 @@ class FaultEvent:
         """
         if self.kind == "link_delay":
             return max(self.until, self.until - 1 + self.amount + 1)
-        if self.kind == "link_drop":
+        if self.kind in ("link_drop", "partition", "crash_recover"):
+            # Heal-time retransmissions (partition) land at ``until``
+            # plus transit; a recovered process needs a round past its
+            # rejoin before quiescence can be trusted.
             return self.until + 1
+        if self.kind == "link_flaky":
+            # The last in-window drop (at ``until - 1``) retransmits no
+            # later than ``until + amount``; add one round of transit.
+            return self.until + self.amount + 1
         if self.kind == "crash_burst":
             return self.start + (len(self.targets) - 1) * self.amount + 1
         if self.kind == "gamma_delay":
@@ -218,6 +269,11 @@ class FaultEvent:
         return (self.src is None or self.src == src_index) and (
             self.dst is None or self.dst == dst_index
         )
+
+    def cuts(self, src_index: int, dst_index: int) -> bool:
+        """Whether a ``src -> dst`` datagram crosses this partition's
+        cut (exactly one endpoint inside the ``targets`` component)."""
+        return (src_index in self.targets) != (dst_index in self.targets)
 
     # -- Serialization ----------------------------------------------------
 

@@ -388,8 +388,13 @@ def family_faulty_at(
 def family_eventually_faulty(
     family: GroupFamily, pattern: FailurePattern
 ) -> bool:
-    """Whether the family becomes faulty at some time under ``pattern``."""
-    horizon = max(pattern.crash_times.values(), default=0)
+    """Whether the family becomes faulty at some time under ``pattern``.
+
+    Evaluated on the suffix after the last alive-set change, so a
+    family whose members all *recover* is (correctly) not eventually
+    faulty.
+    """
+    horizon = max(pattern.change_instants(), default=0)
     return family_faulty_at(family, pattern, horizon)
 
 
@@ -398,10 +403,10 @@ def family_fault_time(
 ) -> Optional[Time]:
     """The first time at which the family is faulty, if ever.
 
-    Computed by checking faultiness at each crash time of the pattern
-    (faultiness can only change at crash instants).
+    Computed by checking faultiness at each crash (and recovery) time
+    of the pattern — faultiness can only change at those instants.
     """
-    instants = sorted(set(pattern.crash_times.values()))
+    instants = list(pattern.change_instants())
     for t in instants:
         if family_faulty_at(family, pattern, t):
             return t

@@ -10,6 +10,18 @@ The classes below make patterns finite and executable: a pattern is stored
 as a set of ``(process, crash_time)`` events, and the environment abstraction
 is realized by generators (all patterns with at most ``k`` crashes, patterns
 where a given set is failure-prone, ...).
+
+The robustness harness extends the crash-stop model with an *optional*
+crash–recovery overlay: ``recovery_times`` maps a crashed process to the
+time at which it rejoins (from its durable substrate state).  A pattern
+without recoveries is exactly the paper's monotone object, and every
+recovery-free query below reduces to the crash-stop semantics — the
+overlay exists so the fault axis (``crash_recover`` events) can model
+processes that come back, while the *classification* stays standard:
+a process that crashes and recovers counts as *correct* ("eventually
+always up", the crash-recovery notion of correctness), so detector
+properties (Leadership, Intersection/Liveness) keep their meaning on
+the suffix.
 """
 
 from __future__ import annotations
@@ -32,10 +44,13 @@ class FailurePattern:
         processes: all processes of the system.
         crash_times: maps each faulty process to the first time at which it
             is crashed.  Processes absent from the mapping are correct.
+        recovery_times: crash–recovery overlay; maps a crashed process to
+            the time at which it rejoins.  Empty in the crash-stop model.
     """
 
     processes: ProcessSet
     crash_times: Mapping[ProcessId, Time] = field(default_factory=dict)
+    recovery_times: Mapping[ProcessId, Time] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         unknown = set(self.crash_times) - set(self.processes)
@@ -44,37 +59,53 @@ class FailurePattern:
         for proc, when in self.crash_times.items():
             if when < 0:
                 raise ModelError(f"negative crash time {when} for {proc}")
-        # Freeze the mapping so patterns are hashable value objects.
+        for proc, when in self.recovery_times.items():
+            crashed = self.crash_times.get(proc)
+            if crashed is None:
+                raise ModelError(f"recovery for never-crashed {proc}")
+            if when <= crashed:
+                raise ModelError(
+                    f"recovery at {when} not after crash at {crashed} "
+                    f"for {proc}"
+                )
+        # Freeze the mappings so patterns are hashable value objects.
         object.__setattr__(self, "crash_times", dict(self.crash_times))
+        object.__setattr__(self, "recovery_times", dict(self.recovery_times))
 
     # -- The mathematical interface -------------------------------------
 
     def at(self, t: Time) -> ProcessSet:
-        """``F(t)``: the set of processes crashed at time ``t``."""
-        return pset(p for p, when in self.crash_times.items() if when <= t)
+        """``F(t)``: the set of processes down at time ``t``."""
+        return pset(p for p in self.crash_times if not self.is_alive(p, t))
 
     @property
     def faulty(self) -> ProcessSet:
-        """``Faulty(F)``: processes that crash at some point."""
-        return pset(self.crash_times)
+        """``Faulty(F)``: processes that crash and never come back."""
+        return pset(
+            p for p in self.crash_times if p not in self.recovery_times
+        )
 
     @property
     def correct(self) -> ProcessSet:
-        """``Correct(F)``: processes that never crash."""
-        return pset(p for p in self.processes if p not in self.crash_times)
+        """``Correct(F)``: processes that are eventually always up."""
+        return pset(p for p in self.processes if self.is_correct(p))
 
     # -- Convenience queries ---------------------------------------------
 
     def is_alive(self, p: ProcessId, t: Time) -> bool:
-        """Whether ``p`` has not crashed by time ``t``."""
+        """Whether ``p`` is up at time ``t`` (crash-stop: not yet
+        crashed; with a recovery, also every time from the rejoin on)."""
         when = self.crash_times.get(p)
-        return when is None or when > t
+        if when is None or when > t:
+            return True
+        rejoin = self.recovery_times.get(p)
+        return rejoin is not None and t >= rejoin
 
     def is_faulty(self, p: ProcessId) -> bool:
-        return p in self.crash_times
+        return p in self.crash_times and p not in self.recovery_times
 
     def is_correct(self, p: ProcessId) -> bool:
-        return p not in self.crash_times
+        return p not in self.crash_times or p in self.recovery_times
 
     def alive_at(self, t: Time) -> ProcessSet:
         """Processes not crashed at time ``t``."""
@@ -102,10 +133,29 @@ class FailurePattern:
         times = []
         for p in group:
             when = self.crash_times.get(p)
-            if when is None:
+            if when is None or p in self.recovery_times:
+                # A recovering member is eventually always up, so the
+                # set is never *permanently* down.
                 return None
             times.append(when)
         return max(times) if times else 0
+
+    # -- Derivation -------------------------------------------------------
+
+    def change_instants(self) -> Tuple[Time, ...]:
+        """Every instant at which the alive set changes, sorted.
+
+        Crash times plus recovery times — the epoch boundaries that
+        alive-set caches (detector oracles, the execution core's
+        eligible-order memo) must respect.  Crash-stop patterns reduce
+        to the sorted crash times.
+        """
+        return tuple(
+            sorted(
+                set(self.crash_times.values())
+                | set(self.recovery_times.values())
+            )
+        )
 
     # -- Derivation -------------------------------------------------------
 
@@ -115,6 +165,9 @@ class FailurePattern:
         return FailurePattern(
             processes=pset(p for p in self.processes if p in subset),
             crash_times={p: t for p, t in self.crash_times.items() if p in subset},
+            recovery_times={
+                p: t for p, t in self.recovery_times.items() if p in subset
+            },
         )
 
     def with_crash(self, p: ProcessId, t: Time) -> "FailurePattern":
@@ -129,11 +182,36 @@ class FailurePattern:
         times = dict(self.crash_times)
         current = times.get(p)
         times[p] = t if current is None else min(current, t)
-        return FailurePattern(self.processes, times)
+        recoveries = dict(self.recovery_times)
+        rejoin = recoveries.get(p)
+        if rejoin is not None and rejoin <= times[p]:
+            del recoveries[p]
+        return FailurePattern(self.processes, times, recoveries)
+
+    def with_recovery(self, p: ProcessId, t: Time) -> "FailurePattern":
+        """A new pattern where the crashed ``p`` rejoins at ``t``.
+
+        Requires an existing crash strictly before ``t``; a later
+        recovery wins when stacked (the process is up from the last
+        rejoin on either way).
+        """
+        if p not in self.processes:
+            raise ModelError(f"{p} is not part of the system")
+        if p not in self.crash_times:
+            raise ModelError(f"recovery for never-crashed {p}")
+        recoveries = dict(self.recovery_times)
+        current = recoveries.get(p)
+        recoveries[p] = t if current is None else max(current, t)
+        return FailurePattern(self.processes, self.crash_times, recoveries)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        def _one(p: ProcessId, t: Time) -> str:
+            rejoin = self.recovery_times.get(p)
+            suffix = f"^{rejoin}" if rejoin is not None else ""
+            return f"{p.name}@{t}{suffix}"
+
         crashes = ", ".join(
-            f"{p.name}@{t}" for p, t in sorted(self.crash_times.items())
+            _one(p, t) for p, t in sorted(self.crash_times.items())
         )
         return f"FailurePattern({crashes or 'failure-free'})"
 

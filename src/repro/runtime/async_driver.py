@@ -75,6 +75,55 @@ def derive_async_seed(seed: int, delay_spec: Any) -> int:
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
+class RetransmitPolicy:
+    """Seeded exponential backoff with jitter and a bounded budget.
+
+    Governs the driver's ack/retransmit resilience layer: when the
+    fault plan drops a wake, the sender schedules up to ``budget``
+    optimistic retransmissions at exponentially growing, jittered
+    offsets, plus the *unconditional* fair-lossy landing at the lossy
+    window's close.  All randomness is drawn from the driver's private
+    RNG, so the ladder is byte-deterministic under
+    :class:`repro.runtime.clock.VirtualClock`.
+
+    Attributes:
+        base: first backoff offset, in round units.
+        factor: multiplicative growth per retry.
+        jitter: fraction of the offset randomized per retry (``0.25``
+            means each offset stretches by up to 25%).
+        budget: maximum optimistic retransmissions per dropped wake
+            (the fair-lossy backstop is never part of the budget).
+    """
+
+    __slots__ = ("base", "factor", "jitter", "budget")
+
+    def __init__(
+        self,
+        base: float = 0.5,
+        factor: float = 2.0,
+        jitter: float = 0.25,
+        budget: int = 3,
+    ) -> None:
+        if base <= 0 or factor < 1.0 or budget < 0 or not 0 <= jitter <= 1:
+            raise SimulationError(
+                "retransmit policy needs base > 0, factor >= 1, "
+                "budget >= 0 and jitter in [0, 1]"
+            )
+        self.base = float(base)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.budget = int(budget)
+
+    def offsets(self, rng: random.Random) -> List[float]:
+        """Cumulative backoff offsets (round units) of each retry."""
+        delay, elapsed, out = self.base, 0.0, []
+        for _ in range(self.budget):
+            elapsed += delay * (1.0 + self.jitter * rng.random())
+            out.append(elapsed)
+            delay *= self.factor
+        return out
+
+
 class AsyncTransport:
     """In-memory wake channels: one event per actor, deliveries timed.
 
@@ -95,6 +144,15 @@ class AsyncTransport:
         #: is *not* quiescent no matter how idle it looks.
         self.in_flight = 0
         self.delivered = 0
+        #: Resilience-layer accounting (see :meth:`deliver_with_retries`):
+        #: retransmissions scheduled, acks observed (first landing of a
+        #: laddered wake), and retries the ack cancelled.
+        self.stats: Dict[str, int] = {
+            "retries_scheduled": 0,
+            "retries_lost": 0,
+            "acked": 0,
+            "retries_cancelled": 0,
+        }
 
     def deliver_now(self, key: Key) -> None:
         """Zero-latency wake (local events: injection, detector ticks)."""
@@ -108,6 +166,36 @@ class AsyncTransport:
             return
         self.in_flight += 1
         self._loop.call_at(when, self._land, key)
+
+    def deliver_with_retries(
+        self, whens: Sequence[float], key: Key
+    ) -> None:
+        """Schedule one wake with a retransmission ladder.
+
+        ``whens`` are the attempt instants (loop times) — the bounded
+        optimistic retransmissions plus the unconditional fair-lossy
+        backstop.  The first attempt to land delivers the wake and
+        *acks* it, cancelling every later rung; cancelled rungs are
+        retransmissions the ack made unnecessary.  Exactly one landing
+        happens per call, so ``in_flight`` stays exact.
+        """
+        if key not in self.events or not whens:
+            return
+        self.in_flight += 1
+        ordered = sorted(whens)
+        self.stats["retries_scheduled"] += len(ordered) - 1
+        handles: List[Any] = []
+
+        def _ack(which: int) -> None:
+            self.stats["acked"] += 1
+            for i, handle in enumerate(handles):
+                if i != which:
+                    handle.cancel()
+                    self.stats["retries_cancelled"] += 1
+            self._land(key)
+
+        for i, when in enumerate(ordered):
+            handles.append(self._loop.call_at(when, _ack, i))
 
     def _land(self, key: Key) -> None:
         self.in_flight -= 1
@@ -141,6 +229,9 @@ class AsyncDriver:
             ``"wall"`` (real time, real nondeterminism).
         seed: scenario seed; the driver derives its private latency RNG
             from ``(seed, delay spec)``.
+        retransmit: the :class:`RetransmitPolicy` of the resilience
+            layer (``None`` = defaults).  Only consulted when the fault
+            plan drops a wake.
     """
 
     def __init__(
@@ -151,6 +242,7 @@ class AsyncDriver:
         round_duration: float = 1.0,
         clock: str = "virtual",
         seed: int = 0,
+        retransmit: Optional[RetransmitPolicy] = None,
     ) -> None:
         if clock not in CLOCK_MODES:
             raise SimulationError(
@@ -170,6 +262,10 @@ class AsyncDriver:
         self.round_duration = float(round_duration)
         self.clock = clock
         self.rng = random.Random(derive_async_seed(seed, self.delay.spec()))
+        self.retransmit = retransmit or RetransmitPolicy()
+        #: Transport resilience stats of the last completed run (the
+        #: transport itself is torn down at run end).
+        self.last_transport_stats: Dict[str, int] = {}
         #: Index of the first send not yet handed to ``issue`` when the
         #: run ended (everything before it was issued or skipped).
         self.sends_cursor = 0
@@ -215,22 +311,62 @@ class AsyncDriver:
             if dst == src:
                 # The writer re-checks itself on its next loop turn.
                 continue
-            latency = self._channel_latency(src, dst, t)
-            transport.deliver_at(now + latency * self.round_duration, dst)
+            self._deliver(src, dst, t, now)
 
-    def _channel_latency(self, src: Key, dst: Key, t: Time) -> float:
-        """Model latency plus the fault plan's channel perturbations."""
+    def _deliver(self, src: Key, dst: Key, t: Time, now: float) -> None:
+        """Route one wake through the channel model + resilience layer."""
+        transport = self._transport
+        rd = self.round_duration
         latency = self.delay.latency(src.index, dst.index, self.rng)
         if self.injector is not None:
             verdict = self.injector.on_send(src.index, dst.index, t)
             if verdict.dropped:
-                # Fair-lossy channel: the wake is lost but its
-                # retransmission lands once the lossy window closes.
-                return max(float(verdict.retransmit_at - t), 1.0) + latency
+                transport.deliver_with_retries(
+                    self._retry_ladder(src, dst, t, verdict, latency), dst
+                )
+                return
             latency += float(verdict.delay)
             # Duplicated wakes would be harmless no-ops on an event
             # channel; the verdict's copies need no realization.
-        return max(latency, 0.0)
+        transport.deliver_at(now + max(latency, 0.0) * rd, dst)
+
+    def _retry_ladder(
+        self,
+        src: Key,
+        dst: Key,
+        t: Time,
+        verdict: Any,
+        latency: float,
+    ) -> List[float]:
+        """Attempt instants (loop times) for one dropped wake.
+
+        The ladder holds every bounded backoff retransmission whose
+        probe time faces a *clear* channel
+        (:meth:`repro.faults.FaultInjector.link_clear` — attempts
+        inside the lossy window are lost and not scheduled), plus the
+        unconditional fair-lossy landing at the window close.  The
+        earliest rung acks the rest, so with a clear early retry the
+        wake lands *before* the heal-time backstop — graceful
+        degradation the round hosts cannot express.
+        """
+        transport = self._transport
+        rd = self.round_duration
+        now = self._loop.time()
+        final = (
+            now
+            + (max(float(verdict.retransmit_at - t), 1.0) + latency) * rd
+        )
+        ladder = [final]
+        for offset in self.retransmit.offsets(self.rng):
+            when = now + (1.0 + offset + latency) * rd
+            if when >= final:
+                break
+            probe_t = t + 1 + int(offset)
+            if self.injector.link_clear(src.index, dst.index, probe_t):
+                ladder.append(when)
+                break
+            transport.stats["retries_lost"] += 1
+        return ladder
 
     def _pace(self, key: Key) -> float:
         """Scheduling latency between consecutive steps of ``key``."""
@@ -249,7 +385,16 @@ class AsyncDriver:
         while not self._stop.is_set():
             t = self.now_t()
             if not core.is_alive(key, t):
-                return  # crashes are permanent: the task retires
+                rejoin = self.system.pattern.recovery_times.get(key)
+                if rejoin is None or rejoin <= t:
+                    return  # crash-stop: the task retires
+                # Crash-recovery: park until the rejoin instant.  The
+                # actor's in-memory state stands in for the durable
+                # substrate snapshot (the kernel backend exercises the
+                # explicit snapshot/restore path).
+                target = self._t0 + (rejoin - 1) * rd
+                await asyncio.sleep(max(target - self._loop.time(), rd))
+                continue
             if injector is not None and injector.suppresses(key, t):
                 # Participation churn: sleep through the window.
                 await asyncio.sleep(rd)
@@ -295,17 +440,31 @@ class AsyncDriver:
         pending: Sequence[Any],
         max_rounds: int,
         quiescent_rounds: int,
+        watchdog: Optional[Any] = None,
+    ) -> None:
+        try:
+            await self._supervise_loop(
+                pending, max_rounds, quiescent_rounds, watchdog
+            )
+        finally:
+            # Whatever ends supervision — quiescence, budget, a raising
+            # watchdog — the run must unwind rather than hang on _stop.
+            self._stop.set()
+
+    async def _supervise_loop(
+        self,
+        pending: Sequence[Any],
+        max_rounds: int,
+        quiescent_rounds: int,
+        watchdog: Optional[Any],
     ) -> None:
         core = self.core
         transport = self._transport
         rd = self.round_duration
         idle = 0
-        crash_instants = sorted(
-            {
-                when
-                for when in self.system.pattern.crash_times.values()
-            }
-        )
+        # Crash *and* recovery instants: a rejoin changes quorum
+        # availability just as a crash does, so it forces wakes too.
+        crash_instants = list(self.system.pattern.change_instants())
         instant_cursor = 0
         while True:
             await asyncio.sleep(rd)
@@ -330,6 +489,8 @@ class AsyncDriver:
             if woke or t <= core.settle_horizon() + 1:
                 for key in eligible:
                     transport.deliver_now(key)
+            if watchdog is not None:
+                watchdog.check(t)
             if t >= max_rounds:
                 self._quiescent = False
                 break
@@ -348,7 +509,6 @@ class AsyncDriver:
                     break
             else:
                 idle = 0
-        self._stop.set()
 
     def _all_parked(self, t: Time, eligible: Sequence[Key]) -> bool:
         transport = self._transport
@@ -368,6 +528,7 @@ class AsyncDriver:
         issue: Optional[Callable[[Any, Time], None]] = None,
         max_rounds: int = 600,
         quiescent_rounds: int = 2,
+        watchdog: Optional[Any] = None,
     ) -> RunOutcome:
         """Run to quiescence (or the logical-round budget).
 
@@ -385,9 +546,13 @@ class AsyncDriver:
             if self.clock == "virtual":
                 VirtualClock().install(loop)
             return loop.run_until_complete(
-                self._main(pending, issue, max_rounds, quiescent_rounds)
+                self._main(
+                    pending, issue, max_rounds, quiescent_rounds, watchdog
+                )
             )
         finally:
+            if self._transport is not None:
+                self.last_transport_stats = dict(self._transport.stats)
             self.system.wake_listener = None
             self._loop = None
             self._transport = None
@@ -399,6 +564,7 @@ class AsyncDriver:
         issue: Optional[Callable[[Any, Time], None]],
         max_rounds: int,
         quiescent_rounds: int,
+        watchdog: Optional[Any] = None,
     ) -> RunOutcome:
         loop = self._loop
         core = self.core
@@ -420,7 +586,7 @@ class AsyncDriver:
             loop.create_task(self._actor(key)) for key in core.sorted_keys
         )
         supervisor = loop.create_task(
-            self._supervise(pending, max_rounds, quiescent_rounds)
+            self._supervise(pending, max_rounds, quiescent_rounds, watchdog)
         )
         await self._stop.wait()
         final_t = min(self.now_t(), max_rounds)
@@ -448,5 +614,6 @@ __all__ = [
     "AsyncDriver",
     "AsyncTransport",
     "CLOCK_MODES",
+    "RetransmitPolicy",
     "derive_async_seed",
 ]

@@ -15,6 +15,8 @@ The kernel hosts the genuine message-passing substrates of §4.3
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -82,6 +84,20 @@ class Context:
     def output(self, value: Any) -> None:
         """Append to the process's output queue (OUT of Appendix A)."""
         self._outputs.append((self.time, value))
+
+
+def snapshot_hash(snapshot: Any) -> str:
+    """Content address of a durable-state snapshot (sha256 hex).
+
+    Snapshots are plain JSON-serializable dicts; the address is the
+    hash of the canonical encoding, so two replicas with identical
+    durable state produce identical addresses — the kernel's rejoin
+    path records one per recovery for triage.
+    """
+    canonical = json.dumps(
+        snapshot, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class Automaton:
@@ -158,6 +174,17 @@ class Kernel:
         )
         self._crash_cursor = 0
         self._dead: List[ProcessId] = []
+        #: Crash–recovery overlay: rejoin schedule, durable snapshots
+        #: taken at crash time, and a (when, process, snapshot hash)
+        #: ledger of completed recoveries for triage rows.
+        self._recover_schedule: List[Tuple[Time, ProcessId]] = sorted(
+            (when, p)
+            for p, when in pattern.recovery_times.items()
+            if p in self.automata
+        )
+        self._recover_cursor = 0
+        self._snapshots: Dict[ProcessId, Any] = {}
+        self.recoveries: List[Tuple[Time, ProcessId, Optional[str]]] = []
         self._scheduler: Scheduler = Scheduler(
             {p: AutomatonActor(self, p) for p in sorted(self.automata)},
             rng=self._rng,
@@ -174,6 +201,11 @@ class Kernel:
                 when
                 for p, when in pattern.crash_times.items()
                 if p in self.automata
+            }
+            | {
+                when
+                for p, when in pattern.recovery_times.items()
+                if p in self.automata
             },
         )
 
@@ -181,6 +213,10 @@ class Kernel:
     def time(self) -> Time:
         """The global round clock (owned by the shared scheduler)."""
         return self._scheduler.time
+
+    def settle_horizon(self) -> Time:
+        """The detectors' stabilization time (0 when none declared)."""
+        return self._scheduler.settle_horizon()
 
     @property
     def last_run_quiescent(self) -> bool:
@@ -220,8 +256,34 @@ class Kernel:
             self._crash_cursor < len(schedule)
             and schedule[self._crash_cursor][0] <= t
         ):
-            self._dead.append(schedule[self._crash_cursor][1])
+            p = schedule[self._crash_cursor][1]
+            self._dead.append(p)
+            if p in self.pattern.recovery_times:
+                # The process will rejoin: capture its durable state
+                # now (the state after its last alive step).  Automata
+                # without a ``snapshot`` method are treated as fully
+                # durable — the rejoin resumes their live state.
+                snapshot = getattr(self.automata[p], "snapshot", None)
+                if callable(snapshot):
+                    self._snapshots[p] = snapshot()
             self._crash_cursor += 1
+        rejoins = self._recover_schedule
+        while (
+            self._recover_cursor < len(rejoins)
+            and rejoins[self._recover_cursor][0] <= t
+        ):
+            when, p = rejoins[self._recover_cursor]
+            self._recover_cursor += 1
+            if p in self._dead:
+                self._dead.remove(p)
+            snapshot = self._snapshots.pop(p, None)
+            digest = None
+            if snapshot is not None:
+                restore = getattr(self.automata[p], "restore", None)
+                if callable(restore):
+                    restore(snapshot)
+                digest = snapshot_hash(snapshot)
+            self.recoveries.append((when, p, digest))
         for p in self._dead:
             if self.buffer.has_pending(p) or self.buffer.delayed_count():
                 self.buffer.drop_all_for(p)

@@ -79,18 +79,37 @@ class ConsensusAutomaton(Automaton):
     keep waiting — which is a known liveness stall under late-Omega
     leader rotation, retained as the ``"supersede-wait"`` scenario quirk
     so the explorer has a real historical bug to rediscover.
+
+    ``retransmit_interval`` arms the proposer's fair-lossy-link timer: a
+    leader parked in a phase re-broadcasts that phase's message every
+    ``interval`` rounds, so a PREPARE/ACCEPT lost to a drop, a partition
+    crossing, or a crashed-then-recovered acceptor is eventually
+    re-offered (all phase messages are idempotent at the acceptor).
+    ``None`` (the default) never retransmits — reliable-link runs are
+    byte-identical to every previous release, which the golden
+    differential suite pins.
     """
 
     def __init__(
-        self, pid: ProcessId, scope: ProcessSet, supersede: str = "abandon"
+        self,
+        pid: ProcessId,
+        scope: ProcessSet,
+        supersede: str = "abandon",
+        retransmit_interval: Optional[int] = None,
     ) -> None:
         if supersede not in ("abandon", "wait"):
             raise ValueError(
                 f"unknown supersede policy {supersede!r}; "
                 "expected 'abandon' or 'wait'"
             )
+        if retransmit_interval is not None and retransmit_interval < 1:
+            raise ValueError(
+                f"retransmit_interval must be >= 1 round, "
+                f"got {retransmit_interval!r}"
+            )
         self.pid = pid
         self.supersede = supersede
+        self.retransmit_interval = retransmit_interval
         self.scope = sorted(scope)
         self.proposal: Any = None
         self.decision: Any = None
@@ -105,11 +124,52 @@ class ConsensusAutomaton(Automaton):
         self._accepts: Set[ProcessId] = set()
         self._value_in_flight: Any = None
         self._next_forward: int = 0
+        self._next_resend: int = 0
 
     def propose(self, value: Any) -> None:
         """Client call: submit a proposal (before or during the run)."""
         if self.proposal is None:
             self.proposal = value
+
+    # -- Durable state (crash–recovery) ----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The durable state: what survives a crash.
+
+        Acceptor state (``promised`` / ``accepted``) must be durable for
+        Paxos safety; the proposal and decision are durable application
+        state.  Proposer phase bookkeeping is deliberately *volatile* —
+        a recovering proposer restarts its ballot from scratch.
+        """
+        return {
+            "proposal": self.proposal,
+            "decision": self.decision,
+            "promised": list(self.promised),
+            "accepted_ballot": list(self.accepted_ballot),
+            "accepted_value": self.accepted_value,
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Rejoin from :meth:`snapshot`; volatile proposer state is lost.
+
+        The resumed ballot counter starts at the promised round: the
+        automaton's own acceptor promised every ballot this proposer
+        ever prepared (it is in its own scope), so the next fresh ballot
+        is strictly above anything it used before the crash — ballot
+        uniqueness survives recovery.
+        """
+        self.proposal = snapshot["proposal"]
+        self.decision = snapshot["decision"]
+        self.promised = tuple(snapshot["promised"])
+        self.accepted_ballot = tuple(snapshot["accepted_ballot"])
+        self.accepted_value = snapshot["accepted_value"]
+        self._ballot = (self.promised[0], self.pid.index)
+        self._phase = None
+        self._promises = {}
+        self._accepts = set()
+        self._value_in_flight = None
+        self._next_forward = 0
+        self._next_resend = 0
 
     # -- Steps -----------------------------------------------------------------
 
@@ -202,6 +262,7 @@ class ConsensusAutomaton(Automaton):
             self._ballot = (self._ballot[0] + 1, self.pid.index)
             self._phase = "prepare"
             self._promises = {}
+            self._arm_resend(ctx)
             ctx.broadcast(self.scope, "PREPARE", self._ballot)
         elif self._phase == "prepare" and all(
             q in self._promises for q in quorum
@@ -216,6 +277,7 @@ class ConsensusAutomaton(Automaton):
             )
             self._phase = "accept"
             self._accepts = set()
+            self._arm_resend(ctx)
             ctx.broadcast(
                 self.scope, "ACCEPT", self._ballot, self._value_in_flight
             )
@@ -227,6 +289,26 @@ class ConsensusAutomaton(Automaton):
                 ctx.output(("decide", self._value_in_flight))
             ctx.broadcast(self.scope, "DECIDE", self._value_in_flight)
             self._phase = "done"
+        elif (
+            self.retransmit_interval is not None
+            and ctx.time >= self._next_resend
+        ):
+            # Fair-lossy-link timer: the quorum is incomplete and the
+            # phase message may have been dropped (flaky link, partition
+            # crossing, acceptor down between crash and rejoin) — repeat
+            # it.  Acceptors treat PREPARE/ACCEPT idempotently, so a
+            # duplicate can only re-elicit the lost reply.
+            self._arm_resend(ctx)
+            if self._phase == "prepare":
+                ctx.broadcast(self.scope, "PREPARE", self._ballot)
+            elif self._phase == "accept":
+                ctx.broadcast(
+                    self.scope, "ACCEPT", self._ballot, self._value_in_flight
+                )
+
+    def _arm_resend(self, ctx: Context) -> None:
+        if self.retransmit_interval is not None:
+            self._next_resend = ctx.time + self.retransmit_interval
 
 
 class ConsensusCluster:

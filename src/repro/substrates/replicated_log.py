@@ -23,6 +23,7 @@ from repro.model.failures import FailurePattern, Time
 from repro.model.messages import Datagram
 from repro.model.processes import ProcessId, ProcessSet
 from repro.sim.kernel import Automaton, Context
+from repro.sim.kernel import snapshot_hash  # noqa: F401 - re-export
 from repro.substrates.consensus import ConsensusAutomaton, OmegaSigmaSampler
 
 
@@ -34,15 +35,23 @@ class ReplicatedLogAutomaton(Automaton):
     """
 
     def __init__(
-        self, pid: ProcessId, scope: ProcessSet, supersede: str = "abandon"
+        self,
+        pid: ProcessId,
+        scope: ProcessSet,
+        supersede: str = "abandon",
+        retransmit_interval: Optional[int] = None,
     ) -> None:
         self.pid = pid
         self.scope = sorted(scope)
         self.supersede = supersede
+        self.retransmit_interval = retransmit_interval
         self._slots: Dict[int, ConsensusAutomaton] = {}
         self._pending: List[Any] = []
         self.applied: List[Any] = []
         self._next_slot = 0
+        #: Set by :meth:`restore`: the rejoined replica must ask its
+        #: peers for decisions that completed around its crash window.
+        self._catchup_needed = False
         #: One reusable slot-context view, rebound per call — the kernel
         #: steps this automaton once per process per round, and a fresh
         #: wrapper allocation per step showed up in profiles.
@@ -52,6 +61,54 @@ class ReplicatedLogAutomaton(Automaton):
         """Client call: replicate ``value`` (at-least-once per slot)."""
         self._pending.append(value)
 
+    # -- Durable state (crash–recovery) ----------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Durable replica state: the applied prefix plus every slot's
+        acceptor state (see :meth:`ConsensusAutomaton.snapshot`)."""
+        return {
+            "next_slot": self._next_slot,
+            "applied": list(self.applied),
+            "pending": list(self._pending),
+            "slots": {
+                slot: automaton.snapshot()
+                for slot, automaton in sorted(self._slots.items())
+            },
+        }
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Rejoin from :meth:`snapshot`.
+
+        The applied prefix and ``next_slot`` come back as-is, so a
+        recovered replica never re-emits ``applied`` outputs it already
+        produced (no duplicate deliveries); each slot's consensus
+        automaton restores its durable half and restarts its proposer.
+
+        The rejoined replica also schedules a one-shot ``CATCHUP``
+        broadcast (sent on its first post-rejoin step, when it has a
+        context): a decision that completed just *before* the crash may
+        have had its ``DECIDE`` datagram dropped with the crash, and
+        with every peer already decided nobody will ever re-send it —
+        the laggard would wait on the slot forever.  Peers answer with
+        plain slot-tagged ``DECIDE`` messages, which are idempotent, so
+        the exchange is safe to duplicate and the host's fair-lossy
+        buffer makes it reliable.
+        """
+        self._catchup_needed = True
+        self._next_slot = int(snapshot["next_slot"])
+        self.applied = list(snapshot["applied"])
+        self._pending = list(snapshot["pending"])
+        self._slots = {}
+        for slot, state in snapshot["slots"].items():
+            automaton = ConsensusAutomaton(
+                self.pid,
+                frozenset(self.scope),
+                supersede=self.supersede,
+                retransmit_interval=self.retransmit_interval,
+            )
+            automaton.restore(state)
+            self._slots[int(slot)] = automaton
+
     def idle(self) -> bool:
         """Nothing pending and no slot open at the apply head.
 
@@ -60,22 +117,49 @@ class ReplicatedLogAutomaton(Automaton):
         with no pending value and no head automaton, a step without a
         datagram provably changes nothing.  Later slots opened by
         incoming datagrams progress on receipt, which un-parks the
-        process through the buffer check.
+        process through the buffer check.  A freshly rejoined replica
+        is never idle: its first step must send the catch-up request.
         """
-        return not self._pending and self._slots.get(self._next_slot) is None
+        return (
+            not self._catchup_needed
+            and not self._pending
+            and self._slots.get(self._next_slot) is None
+        )
 
     def _slot(self, index: int) -> ConsensusAutomaton:
         automaton = self._slots.get(index)
         if automaton is None:
             automaton = ConsensusAutomaton(
-                self.pid, frozenset(self.scope), supersede=self.supersede
+                self.pid,
+                frozenset(self.scope),
+                supersede=self.supersede,
+                retransmit_interval=self.retransmit_interval,
             )
             self._slots[index] = automaton
         return automaton
 
     def on_step(self, ctx: Context, datagram: Optional[Datagram]) -> None:
         slot_ctx = self._slot_ctx
-        if datagram is not None:
+        if self._catchup_needed:
+            # First post-rejoin step: ask every peer for decisions made
+            # around the crash window.  One shot suffices — the host
+            # buffer is fair-lossy, so a dropped request is re-enqueued.
+            self._catchup_needed = False
+            peers = [p for p in self.scope if p != self.pid]
+            if peers:
+                ctx.broadcast(peers, "CATCHUP", self._next_slot)
+        if datagram is not None and datagram.tag == "CATCHUP":
+            # Log-level request (no slot prefix): replay our applied
+            # decisions from the requested slot on as ordinary DECIDE
+            # messages — idempotent at the laggard, and exactly what a
+            # non-dropped broadcast would have delivered.
+            (from_slot,) = datagram.body
+            for slot_index in range(from_slot, self._next_slot):
+                ctx.send(
+                    datagram.src, "DECIDE", slot_index,
+                    self.applied[slot_index],
+                )
+        elif datagram is not None:
             slot_index = datagram.body[0]
             slot_ctx.bind(ctx, slot_index)
             self._slot(slot_index)._handle(
@@ -153,10 +237,16 @@ class ReplicatedLogCluster:
         scope: ProcessSet,
         omega_stabilization: Optional[Time] = None,
         supersede: str = "abandon",
+        retransmit_interval: Optional[int] = None,
     ) -> None:
         self.scope = scope
         self.automata: Dict[ProcessId, ReplicatedLogAutomaton] = {
-            p: ReplicatedLogAutomaton(p, scope, supersede=supersede)
+            p: ReplicatedLogAutomaton(
+                p,
+                scope,
+                supersede=supersede,
+                retransmit_interval=retransmit_interval,
+            )
             for p in sorted(scope)
         }
         kwargs = {}

@@ -62,6 +62,7 @@ from repro.model.messages import MessageFactory, MulticastMessage
 from repro.model.processes import ProcessId
 from repro.model.runs import RunRecord
 from repro.runtime.async_driver import AsyncDriver
+from repro.runtime.watchdog import StallWatchdog
 from repro.sim.kernel import Kernel
 from repro.substrates.replicated_log import ReplicatedLogCluster
 from repro.workloads.spec import ScenarioSpec
@@ -172,6 +173,10 @@ class ScenarioResult:
     #: The bound :class:`repro.faults.FaultInjector` of a faulted run
     #: (``None`` for fault-free runs) — its stats feed the result row.
     injector: Optional[FaultInjector] = None
+    #: Async-backend ack/retransmit counters
+    #: (:attr:`AsyncDriver.last_transport_stats`); ``None`` on the round
+    #: backends, which have no transport layer.
+    transport_stats: Optional[Dict[str, int]] = None
 
     @property
     def backend(self) -> str:
@@ -251,6 +256,8 @@ class ScenarioResult:
         }
         if self.injector is not None:
             row["faults"] = self.injector.summary()
+        if self.transport_stats is not None:
+            row["transport"] = dict(self.transport_stats)
         return row
 
     def assert_ok(self) -> None:
@@ -295,12 +302,24 @@ def run_scenario(
     max_rounds: object = _UNSET,
     scheduling: object = _UNSET,
     trace_path: Optional[str] = None,
+    stall_window: Optional[int] = None,
 ) -> ScenarioResult:
     """Execute a scripted scenario to quiescence.
 
     Primary form: ``run_scenario(spec)`` where ``spec`` is a
-    :class:`ScenarioSpec`; ``trace_path`` is the only other accepted
-    argument (it is an output sink, not part of the scenario).
+    :class:`ScenarioSpec`; ``trace_path`` and ``stall_window`` are the
+    only other accepted arguments (an output sink and a liveness
+    backstop — execution-harness concerns, not part of the scenario).
+
+    ``stall_window`` arms the stall watchdog: a run whose progress
+    fingerprint (deliveries for the engine/async backends, applied log
+    entries for the kernel) does not change for that many consecutive
+    rounds past the settle horizon raises
+    :class:`repro.runtime.watchdog.StallError` carrying the wait-reason
+    histogram, instead of burning the rest of its round budget.  The
+    watchdog never changes what an un-stalled run computes — it only
+    decides how long a stalled one is allowed to spin — so spec hashes
+    and golden traces are unaffected.
 
     Legacy form: ``run_scenario(topology, pattern, sends, ...)`` with
     every tuning parameter keyword-only.  Passing tuning parameters
@@ -343,7 +362,7 @@ def run_scenario(
                 f"({sorted(supplied)}); derive a new spec with "
                 "dataclasses.replace instead"
             )
-        return _execute(spec, trace_path=trace_path)
+        return _execute(spec, trace_path=trace_path, stall_window=stall_window)
 
     # -- Legacy shim ------------------------------------------------------
     topology = spec
@@ -374,7 +393,28 @@ def run_scenario(
         scheduling=supplied.get("scheduling", "event"),  # type: ignore[arg-type]
     )
     return _execute(
-        built, trace_path=trace_path, topology=topology, pattern=pattern
+        built,
+        trace_path=trace_path,
+        topology=topology,
+        pattern=pattern,
+        stall_window=stall_window,
+    )
+
+
+def _watchdog_for(
+    window: Optional[int],
+    progress: Any,
+    tracer: TraceRecorder,
+    grace: Time,
+) -> Optional[StallWatchdog]:
+    """Build the runner's stall watchdog (``None`` window = unarmed)."""
+    if window is None:
+        return None
+    return StallWatchdog(
+        progress,
+        window=window,
+        wait_reasons=lambda: tracer.summary()["wait_reasons"],
+        grace=grace,
     )
 
 
@@ -383,6 +423,7 @@ def _execute(
     trace_path: Optional[str] = None,
     topology: Optional[GroupTopology] = None,
     pattern: Optional[FailurePattern] = None,
+    stall_window: Optional[int] = None,
 ) -> ScenarioResult:
     """Run one spec.  Legacy callers pass their live topology/pattern so
     object identity is preserved; the spec form rebuilds them."""
@@ -398,11 +439,21 @@ def _execute(
         pattern = injector.perturb_pattern(pattern)
     if spec.backend == "kernel":
         return _execute_kernel(
-            spec, topology, pattern, injector, trace_path=trace_path
+            spec,
+            topology,
+            pattern,
+            injector,
+            trace_path=trace_path,
+            stall_window=stall_window,
         )
     if spec.backend == "async":
         return _execute_async(
-            spec, topology, pattern, injector, trace_path=trace_path
+            spec,
+            topology,
+            pattern,
+            injector,
+            trace_path=trace_path,
+            stall_window=stall_window,
         )
     system = MulticastSystem(
         topology,
@@ -442,7 +493,20 @@ def _execute(
     # The issue loop may have consumed the entire budget; the drain gets
     # whatever is left, never a negative allowance.
     budget = max(0, spec.max_rounds - rounds)
-    rounds += multicaster.run(max_rounds=budget)
+    watchdog = _watchdog_for(
+        stall_window,
+        lambda: len(system.record.deliveries),
+        system.tracer,
+        system.settle_horizon(),
+    )
+    rounds += multicaster.run(
+        max_rounds=budget,
+        stop_when=(
+            watchdog.stop_when(lambda: system.time)
+            if watchdog is not None
+            else None
+        ),
+    )
     truncated = bool(unsent) or not system.last_run_quiescent
     _audit_injector(injector, spec, system.time, pattern=pattern)
     if trace_path is not None:
@@ -501,6 +565,7 @@ def _execute_kernel(
     pattern: FailurePattern,
     injector: Optional[FaultInjector] = None,
     trace_path: Optional[str] = None,
+    stall_window: Optional[int] = None,
 ) -> ScenarioResult:
     """Run one spec on the Appendix-A kernel backend.
 
@@ -527,8 +592,19 @@ def _execute_kernel(
                 f"backend)"
             )
     supersede = "wait" if "supersede-wait" in spec.quirks else "abandon"
+    # Faulted runs arm the proposer's fair-lossy retransmission timer: a
+    # PREPARE/ACCEPT lost to a drop, a partition crossing, or an
+    # acceptor's crash–rejoin window must eventually be re-offered or
+    # the slot wedges.  Fault-free runs leave it off, so the golden
+    # kernel fingerprints (exact step counts) are untouched.
+    retransmit_interval = 8 if injector is not None else None
     clusters = {
-        g.name: ReplicatedLogCluster(pattern, g.members, supersede=supersede)
+        g.name: ReplicatedLogCluster(
+            pattern,
+            g.members,
+            supersede=supersede,
+            retransmit_interval=retransmit_interval,
+        )
         for g in topology.groups
     }
     automata = {}
@@ -579,7 +655,24 @@ def _execute_kernel(
             break
     unsent = list(pending[cursor:])
     budget = max(0, spec.max_rounds - rounds)
-    rounds += kernel.run(budget, quiescent_rounds=2)
+    # Kernel progress = log entries applied anywhere: the supersede-wait
+    # stall keeps datagrams circulating (steps fire every round), so
+    # step counts cannot be the fingerprint — applied outputs can.
+    watchdog = _watchdog_for(
+        stall_window,
+        lambda: sum(len(entries) for entries in kernel.outputs.values()),
+        kernel.tracer,
+        kernel.settle_horizon(),
+    )
+    rounds += kernel.run(
+        budget,
+        quiescent_rounds=2,
+        stop_when=(
+            watchdog.stop_when(lambda: kernel.time)
+            if watchdog is not None
+            else None
+        ),
+    )
     quiescent = kernel.last_run_quiescent
     truncated = bool(unsent) or not quiescent
     _audit_injector(
@@ -637,6 +730,7 @@ def _execute_async(
     pattern: FailurePattern,
     injector: Optional[FaultInjector] = None,
     trace_path: Optional[str] = None,
+    stall_window: Optional[int] = None,
 ) -> ScenarioResult:
     """Run one spec on the real-asynchrony backend.
 
@@ -686,11 +780,23 @@ def _execute_async(
             multicaster.multicast(sender, send.group, send.payload)
         )
 
+    # Wall-clock async runs get a real-time backstop on top of the
+    # logical window: a hung loop stops producing logical checks, but
+    # never stops the wall clock.
+    watchdog = _watchdog_for(
+        stall_window,
+        lambda: len(system.record.deliveries),
+        system.tracer,
+        system.settle_horizon(),
+    )
+    if watchdog is not None and spec.clock == "wall":
+        watchdog.wall_budget = max(30.0, stall_window * round_duration * 4)
     outcome = driver.run(
         sends=pending,
         issue=issue,
         max_rounds=spec.max_rounds,
         quiescent_rounds=2,
+        watchdog=watchdog,
     )
     unsent = list(pending[driver.sends_cursor :])
     truncated = bool(unsent) or not outcome.quiescent
@@ -723,6 +829,7 @@ def _execute_async(
         truncated=truncated,
         quiescent=outcome.quiescent,
         injector=injector,
+        transport_stats=dict(driver.last_transport_stats),
     )
 
 

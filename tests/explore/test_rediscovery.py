@@ -15,10 +15,13 @@ iteration 1 with this seed, so the budget is generous), auto-shrink the
 witness to at most 3 events whose trigger is the ``omega_late``
 rotation, and produce a repro whose replay reproduces the violation
 deterministically.  The same search on the fixed (quirk-free) base
-finds nothing — the explorer flags the bug, not the backend.
+finds nothing outside the committed soak baseline — the explorer flags
+the bug, not the backend.
 """
 
-from repro.explore.driver import Explorer
+import os
+
+from repro.explore.driver import Explorer, load_baseline
 from repro.faults.shrink import replay_repro
 from repro.props.batch import verdicts_ok
 from repro.workloads.runner import Send
@@ -92,14 +95,32 @@ class TestRediscovery:
         assert not verdicts_ok(replay["verdicts"]) or replay["truncated"]
 
     def test_the_fixed_backend_is_clean_under_the_same_budget(self):
+        """No finding outside the committed soak baseline.
+
+        The recovery fault axis widened the mutation pool, so the same
+        budget can now surface the *baselined* crash-induced
+        non-quiescence class (``scenario|truncated|kind:crash_burst``,
+        a known behaviour, not a bug) on the quirk-free backend too.
+        The clean-backend gate is therefore the soak lane's own
+        criterion: every finding must be covered by
+        ``tests/explore/soak_baseline.json``, and in particular the
+        supersede-wait stall the quirked run rediscovers must not
+        appear here.
+        """
         explorer = Explorer(
             [kernel_base(quirks=())],
             seed=CAMPAIGN_SEED,
             strategy="guided",
         )
         report = explorer.run(iterations=BUDGET_ITERATIONS)
-        assert report.triage == []
-        assert explorer.violations == 0
+        baseline = load_baseline(
+            os.path.join(os.path.dirname(__file__), "soak_baseline.json")
+        )
+        assert report.new_keys(baseline) == []
+        for record in report.triage:
+            kinds = {e["kind"] for e in record["minimal_plan"]["events"]}
+            assert kinds <= {"crash_burst", "churn"}
+            assert record["properties"] == ["truncated"]
 
     def test_the_campaign_is_deterministic(self):
         _, a = rediscovery_campaign()

@@ -90,6 +90,12 @@ class TestWeightedMixes:
     WEIGHTED_S11 = (
         "53d9e6f1a192eb4177b8f50364da3dd7e24b3fc7ffbb5efc785033a13f858f70"
     )
+    RECOVERY_S11 = (
+        "e68bbf6ead4376697bed5030afa7c2f0a8735821ffa34ce7e7f5a23045eb6c43"
+    )
+    CHAOS_S11 = (
+        "bcbcbf319d106c42a4b6d0901e8c560a1fda5db75044596b1f126a3f11fab065"
+    )
 
     def test_legacy_stream_is_frozen(self):
         plan = random_plan(11, "full", process_count=5, groups=("g1", "g2"))
@@ -98,6 +104,23 @@ class TestWeightedMixes:
             random_plan(3, "links", process_count=4).plan_hash()
             == self.LEGACY_LINKS_S3
         )
+
+    def test_recovery_mix_streams_are_frozen(self):
+        """The new mixes get their own pins: each named mix seeds its
+        own RNG stream, so these freeze independently of (and without
+        perturbing) the legacy ``full``/``links`` pins above."""
+        kwargs = dict(process_count=5, groups=("g1", "g2"))
+        recovery = random_plan(11, "recovery", **kwargs)
+        assert recovery.plan_hash() == self.RECOVERY_S11
+        assert {e.kind for e in recovery.events} <= {
+            "partition", "crash_recover", "link_flaky"
+        }
+        chaos = random_plan(11, "chaos", **kwargs)
+        assert chaos.plan_hash() == self.CHAOS_S11
+        # Chaos reaches every axis: links + detectors + recovery.
+        kinds = {e.kind for e in chaos.events}
+        assert "partition" in kinds or "crash_recover" in kinds
+        assert any(k.startswith("link_") for k in kinds)
 
     def test_weighted_stream_is_frozen(self):
         plan = random_plan(
@@ -136,7 +159,10 @@ class TestWeightedMixes:
         assert normalized == {"links": 0.75, "crashes": 0.25}
         uniform = normalize_weights({f: 1 for f in FAMILIES})
         assert set(uniform) == set(FAMILIES)
-        assert all(w == pytest.approx(0.25) for w in uniform.values())
+        assert all(
+            w == pytest.approx(1 / len(FAMILIES))
+            for w in uniform.values()
+        )
 
     @pytest.mark.parametrize(
         "weights",

@@ -115,7 +115,10 @@ class TestFaultPlan:
             kwargs = {"kind": kind, "start": 1, "until": 4}
             if kind == "link_reorder":
                 kwargs["amount"] = 2
-            if kind in ("crash_burst", "churn"):
+            if kind in ("crash_burst", "churn", "partition"):
                 kwargs["targets"] = (1,)
+            if kind == "crash_recover":
+                kwargs["targets"] = (1,)
+                kwargs["until"] = 4
             event = FaultEvent(**kwargs)
             assert FaultEvent.from_json(event.to_json()) == event

@@ -3,9 +3,13 @@
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.model import crash_pattern, failure_free, make_processes, pset
 from repro.sim import Kernel
 from repro.substrates import ReplicatedLogCluster
+from repro.workloads.runner import Send, run_scenario
+from repro.workloads.spec import ScenarioSpec, TopologySpec
+from repro.workloads.topologies import disjoint_topology
 
 PROCS = make_processes(3)
 SCOPE = pset(PROCS)
@@ -60,6 +64,40 @@ def test_crash_of_a_replica_does_not_fork_the_log():
     # The crashed replica's prefix is consistent with the survivors.
     dead_seq = cluster.applied_at(PROCS[2])
     assert dead_seq == seq0[: len(dead_seq)]
+
+
+def test_rejoined_replica_catches_up_on_decisions_made_before_its_crash():
+    """Regression: the laggard catch-up hole (explore-soak audit, 2026-08).
+
+    A decision can complete just *before* a replica's crash — the
+    victim's promise and accept already counted toward the quorum — so
+    its DECIDE datagram is dropped with the crash while every peer
+    reaches phase ``done`` and goes idle.  Nobody re-sends (proposer
+    retransmission only fires on incomplete quorums), and without the
+    rejoin CATCHUP exchange the recovered replica waits on the slot
+    forever: this exact spec burned its full 240-round budget with a
+    termination violation.  With the exchange, it terminates cleanly.
+    """
+    topo = TopologySpec.capture(disjoint_topology(2, group_size=3))
+    plan = FaultPlan(
+        (FaultEvent(kind="crash_recover", start=7, until=12, targets=(5,)),)
+    )
+    spec = ScenarioSpec(
+        topology=topo,
+        sends=(Send(1, "g1", 0), Send(4, "g2", 0)),
+        backend="kernel",
+        max_rounds=240,
+        seed=18154,
+        faults=plan,
+    )
+    result = run_scenario(spec)
+    result.assert_ok()
+    row = result.to_row()
+    assert not row["truncated"]
+    assert row["verdicts"]["termination"] == 0
+    # The run resolves promptly (17 rounds when pinned) rather than
+    # riding the 240-round budget the way the unfixed laggard did.
+    assert row["rounds"] < 60
 
 
 @settings(

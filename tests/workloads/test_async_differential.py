@@ -62,6 +62,20 @@ FAULT_MIXES = {
             FaultEvent(kind="omega_late", start=2, until=6, amount=2),
         )
     ),
+    # The recovery axis: a healing partition, a flaky-link window and a
+    # crash–recovery of p5.  Fate-determined by construction: partition
+    # crossings retransmit at heal time, flaky drops carry bounded
+    # retransmission deadlines, and the crash_recover victim goes down
+    # at t=0 (dead-from-start on the round *and* the async clock — the
+    # t=1 corner of the module docstring cannot split the backends) and
+    # rejoins as a correct process that must deliver everything.
+    "recovery": FaultPlan(
+        (
+            FaultEvent(kind="partition", start=3, until=7, targets=(4,)),
+            FaultEvent(kind="link_flaky", start=2, until=6, amount=2),
+            FaultEvent(kind="crash_recover", start=0, until=8, targets=(5,)),
+        )
+    ),
 }
 
 FIGURE1 = TopologySpec.capture(paper_figure1_topology())
@@ -186,7 +200,7 @@ class TestKernelVsAsync:
     implementation*, not just a different driver.
     """
 
-    @pytest.mark.parametrize("mix", ("none", "links"))
+    @pytest.mark.parametrize("mix", ("none", "links", "recovery"))
     def test_twenty_seeds_agree(self, mix):
         plan = FAULT_MIXES[mix]
         for seed in SEEDS:
